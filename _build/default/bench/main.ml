@@ -1,0 +1,130 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Section 4) on the simulated 256-processor machine, printing one
+   aligned text table per artifact — the same rows/series the paper
+   plots.  Expected shapes versus the paper are catalogued in
+   EXPERIMENTS.md.
+
+   Part 2 runs Bechamel micro-benchmarks: one Test.make per paper
+   artifact (a representative point of that experiment, measured in host
+   time), plus the host multicore library's primitive operations.
+
+   `dune exec bench/main.exe` runs everything at paper scale;
+   pass `quick` to cap the sweeps at 64 processors. *)
+
+let quick = Array.exists (( = ) "quick") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's evaluation *)
+
+let scale =
+  if quick then Pqbenchlib.Figures.quick
+  else { Pqbenchlib.Figures.full with ops = 40 }
+
+let () =
+  Printf.printf
+    "=====================================================================\n\
+     Part 1: paper evaluation on the simulated %d-processor ccNUMA machine\n\
+     (latency = average simulated cycles per operation; shapes, not\n\
+     absolute values, are comparable with the paper)\n\
+     =====================================================================\n"
+    scale.Pqbenchlib.Figures.max_procs;
+  Pqbenchlib.Figures.run_all scale
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks *)
+
+open Bechamel
+open Toolkit
+
+(* one representative point per paper artifact, measured in host time *)
+let sim_point ~queue ~nprocs ~npriorities () =
+  ignore
+    (Pqbenchlib.Workload.run ~ops_per_proc:5
+       (Pqbenchlib.Workload.spec ~queue ~nprocs ~npriorities))
+
+let counter_point ~mode ~nprocs () =
+  ignore
+    (Pqbenchlib.Counterbench.run ~mode ~nprocs ~dec_percent:50
+       ~ops_per_proc:5 ())
+
+let figure_tests =
+  let p = if quick then 32 else 128 in
+  [
+    Test.make ~name:"fig5L:bfad-elim-128p"
+      (Staged.stage
+         (counter_point ~mode:(Pqbenchlib.Counterbench.Bounded { elim = true })
+            ~nprocs:p));
+    Test.make ~name:"fig5R:faa-128p"
+      (Staged.stage (counter_point ~mode:Pqbenchlib.Counterbench.Faa ~nprocs:p));
+    Test.make ~name:"fig6:SimpleLinear-16p"
+      (Staged.stage
+         (sim_point ~queue:"SimpleLinear" ~nprocs:16 ~npriorities:16));
+    Test.make ~name:"fig7:FunnelTree-128p"
+      (Staged.stage (sim_point ~queue:"FunnelTree" ~nprocs:p ~npriorities:16));
+    Test.make ~name:"fig8:SimpleTree-64p"
+      (Staged.stage (sim_point ~queue:"SimpleTree" ~nprocs:64 ~npriorities:128));
+    Test.make ~name:"fig9:LinearFunnels-64p-N256"
+      (Staged.stage
+         (sim_point ~queue:"LinearFunnels" ~nprocs:64 ~npriorities:256));
+  ]
+
+(* host multicore library primitives (single-domain costs) *)
+let host_tests =
+  let heap = Hostpq.Locked_heap.create ~npriorities:64 () in
+  let bins = Hostpq.Bin_pq.create ~npriorities:64 () in
+  let tree = Hostpq.Tree_pq.create ~npriorities:64 () in
+  let stack = Hostpq.Elim_stack.create () in
+  let counter = Hostpq.Bounded_counter.create ~floor:0 1_000_000 in
+  [
+    Test.make ~name:"host:locked-heap-insert-delete"
+      (Staged.stage (fun () ->
+           Hostpq.Locked_heap.insert heap ~pri:17 0;
+           ignore (Hostpq.Locked_heap.delete_min heap)));
+    Test.make ~name:"host:bin-pq-insert-delete"
+      (Staged.stage (fun () ->
+           Hostpq.Bin_pq.insert bins ~pri:17 0;
+           ignore (Hostpq.Bin_pq.delete_min bins)));
+    Test.make ~name:"host:tree-pq-insert-delete"
+      (Staged.stage (fun () ->
+           Hostpq.Tree_pq.insert tree ~pri:17 0;
+           ignore (Hostpq.Tree_pq.delete_min tree)));
+    Test.make ~name:"host:elim-stack-push-pop"
+      (Staged.stage (fun () ->
+           Hostpq.Elim_stack.push stack 1;
+           ignore (Hostpq.Elim_stack.pop stack)));
+    Test.make ~name:"host:bounded-counter-dec"
+      (Staged.stage (fun () -> ignore (Hostpq.Bounded_counter.dec counter)));
+  ]
+
+let () =
+  Printf.printf
+    "\n\
+     =====================================================================\n\
+     Part 2: Bechamel micro-benchmarks (host wall-clock time)\n\
+     =====================================================================\n\
+     %!";
+  let tests =
+    Test.make_grouped ~name:"pq" ~fmt:"%s %s" (figure_tests @ host_tests)
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let name_width =
+    Hashtbl.fold (fun k _ acc -> max acc (String.length k)) results 0
+  in
+  Printf.printf "%-*s  %14s\n%s\n" name_width "benchmark" "ns/run"
+    (String.make (name_width + 16) '-');
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ est ] -> Printf.printf "%-*s  %14.1f\n" name_width name est
+         | _ -> Printf.printf "%-*s  %14s\n" name_width name "n/a")

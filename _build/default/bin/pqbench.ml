@@ -1,0 +1,142 @@
+(* Command-line driver: run a single queue benchmark, or regenerate any of
+   the paper's figures/tables on the simulated multiprocessor. *)
+
+open Cmdliner
+
+let experiments : (string * string * (Pqbenchlib.Figures.scale -> unit)) list =
+  [
+    ("fig5L", "funnel counter latency vs concurrency (Fig. 5 left)",
+     fun s -> ignore (Pqbenchlib.Figures.fig5_left s));
+    ("fig5R", "funnel counter latency vs op mix (Fig. 5 right)",
+     fun s -> ignore (Pqbenchlib.Figures.fig5_right s));
+    ("fig6", "all queues at low concurrency (Fig. 6)",
+     fun s -> ignore (Pqbenchlib.Figures.fig6 s));
+    ("fig7", "scalable queues, 2-256 processors (Fig. 7)",
+     fun s -> ignore (Pqbenchlib.Figures.fig7 s));
+    ("fig8", "insert/delete-min latency breakdown (Fig. 8)",
+     fun s -> ignore (Pqbenchlib.Figures.fig8 s));
+    ("fig9L", "latency vs priority range at 64 procs (Fig. 9 left)",
+     fun s -> ignore (Pqbenchlib.Figures.fig9_left s));
+    ("fig9R", "latency vs priority range at 256 procs (Fig. 9 right)",
+     fun s -> ignore (Pqbenchlib.Figures.fig9_right s));
+    ("cutoff", "ablation: FunnelTree funnel/MCS cut-off",
+     fun s -> ignore (Pqbenchlib.Figures.ablation_cutoff s));
+    ("precheck", "ablation: LinearFunnels emptiness pre-check",
+     fun s -> ignore (Pqbenchlib.Figures.ablation_precheck s));
+    ("adaption", "ablation: funnel width adaption",
+     fun s -> ignore (Pqbenchlib.Figures.ablation_adaption s));
+    ("counters", "counter shootout: cas/mcs/combtree/dtree/bitonic/funnel",
+     fun s -> ignore (Pqbenchlib.Figures.counter_shootout s));
+    ("sensitivity", "headline comparison under perturbed machine models",
+     fun s -> ignore (Pqbenchlib.Figures.sensitivity s));
+    ("depth", "latency on a pre-filled (deep) queue",
+     fun s -> ignore (Pqbenchlib.Figures.queue_depth s));
+    ("mix", "latency vs insert share of the access mix",
+     fun s -> ignore (Pqbenchlib.Figures.mix s));
+    ("all", "every figure, table and ablation", Pqbenchlib.Figures.run_all);
+  ]
+
+let scale_term =
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Paper scale: up to 256 processors.")
+  in
+  let ops =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ops" ] ~docv:"N" ~doc:"Queue accesses per processor.")
+  in
+  let make full ops =
+    let base =
+      if full then Pqbenchlib.Figures.full else Pqbenchlib.Figures.quick
+    in
+    match ops with None -> base | Some o -> { base with ops = o }
+  in
+  Term.(const make $ full $ ops)
+
+let list_cmd =
+  let run () =
+    print_endline "queues:";
+    List.iter (Printf.printf "  %s\n") Pqcore.Registry.names;
+    print_endline "experiments:";
+    List.iter (fun (n, d, _) -> Printf.printf "  %-10s %s\n" n d) experiments
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List queues and experiments.")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let exp =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see `pqbench list').")
+  in
+  let run scale exp =
+    match List.find_opt (fun (n, _, _) -> n = exp) experiments with
+    | Some (_, _, f) ->
+        f scale;
+        `Ok ()
+    | None ->
+        `Error
+          (false, Printf.sprintf "unknown experiment %S; try `pqbench list'" exp)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Regenerate a figure/table from the paper.")
+    Term.(ret (const run $ scale_term $ exp))
+
+let bench_cmd =
+  let queue =
+    Arg.(
+      value & opt string "FunnelTree"
+      & info [ "queue" ] ~docv:"NAME" ~doc:"Queue algorithm.")
+  in
+  let procs =
+    Arg.(value & opt int 16 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Processors.")
+  in
+  let priorities =
+    Arg.(
+      value & opt int 16
+      & info [ "priorities"; "n" ] ~docv:"N" ~doc:"Priority range.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 40 & info [ "ops" ] ~docv:"OPS" ~doc:"Accesses per processor.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed.") in
+  let run queue procs priorities ops seed =
+    let spec =
+      {
+        (Pqbenchlib.Workload.spec ~queue ~nprocs:procs ~npriorities:priorities)
+        with
+        seed;
+      }
+    in
+    let r = Pqbenchlib.Workload.run ~ops_per_proc:ops spec in
+    Printf.printf
+      "%s  P=%d N=%d ops/proc=%d seed=%d\n\
+       latency/access: %.0f cycles (insert %.0f, delete-min %.0f)\n\
+       inserts: %d  deletes: %d  empty deletes: %d\n\
+       makespan: %d cycles  line-queueing: %d cycles\n"
+      queue procs priorities ops seed r.latency_all r.latency_insert
+      r.latency_delete r.inserts r.deletes r.empty_deletes r.cycles
+      r.queue_wait;
+    match r.hot_lines with
+    | [] -> ()
+    | hot ->
+        Printf.printf "hottest lines (addr: queued cycles):";
+        List.iter (fun (a, w) -> Printf.printf "  %d:%d" a w) hot;
+        print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run a single queue benchmark point.")
+    Term.(const run $ queue $ procs $ priorities $ ops $ seed)
+
+let () =
+  let doc =
+    "bounded-range concurrent priority queues on a simulated multiprocessor"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "pqbench" ~doc)
+          [ list_cmd; run_cmd; bench_cmd ]))

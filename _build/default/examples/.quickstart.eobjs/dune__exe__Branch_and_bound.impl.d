@@ -1,0 +1,1 @@
+examples/branch_and_bound.ml: Array Atomic Domain Hostpq List Printf Random Unix

@@ -1,0 +1,1 @@
+examples/event_simulation.ml: Atomic Domain Hostpq List Printf Random

@@ -1,0 +1,1 @@
+examples/funnel_demo.ml: Api List Pqfunnel Pqsim Pqstruct Printf Sim Stats

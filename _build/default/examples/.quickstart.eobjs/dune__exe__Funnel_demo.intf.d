@@ -1,0 +1,1 @@
+examples/funnel_demo.mli:

@@ -1,0 +1,1 @@
+examples/host_throughput.ml: Domain Hostpq List Printf Random Unix

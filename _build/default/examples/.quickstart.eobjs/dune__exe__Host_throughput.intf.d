@@ -1,0 +1,1 @@
+examples/host_throughput.mli:

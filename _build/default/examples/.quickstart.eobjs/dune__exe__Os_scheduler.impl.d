@@ -1,0 +1,1 @@
+examples/os_scheduler.ml: Api List Pqcore Pqsim Printf Sim Stats

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Domain Hostpq List Printf Random

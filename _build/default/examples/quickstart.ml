@@ -1,0 +1,42 @@
+(* Quickstart: bounded-range priority queues on real multicore OCaml.
+
+   A bounded-range priority queue knows its priorities up front (here:
+   four task classes), which is what lets the scalable implementations
+   avoid a global ordered structure.  `Hostpq.Tree_pq` is the paper's
+   FunnelTree design on hardware atomics; swap in `Hostpq.Bin_pq` or
+   `Hostpq.Locked_heap` without changing the rest of the code.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Q = Hostpq.Tree_pq
+
+type task = { name : string; work : int }
+
+let classes = [| "interactive"; "normal"; "batch"; "idle" |]
+
+let () =
+  let q = Q.create ~npriorities:(Array.length classes) () in
+
+  (* four domains concurrently submit prioritised tasks *)
+  let submit d () =
+    let rng = Random.State.make [| d |] in
+    for i = 1 to 5 do
+      let pri = Random.State.int rng (Array.length classes) in
+      Q.insert q ~pri { name = Printf.sprintf "task-%d.%d" d i; work = pri }
+    done
+  in
+  List.init 4 (fun d -> Domain.spawn (submit d)) |> List.iter Domain.join;
+
+  Printf.printf "submitted %d tasks\n" (Q.length q);
+
+  (* drain: interactive tasks come out before batch ones *)
+  let rec serve () =
+    match Q.delete_min q with
+    | Some (pri, task) ->
+        Printf.printf "serving %-10s [%s]\n" task.name classes.(pri);
+        ignore task.work;
+        serve ()
+    | None -> ()
+  in
+  serve ();
+  print_endline "queue drained"

@@ -1,0 +1,1 @@
+lib/check/history.ml: Api Format List Pqcore Pqsim Printf Sim

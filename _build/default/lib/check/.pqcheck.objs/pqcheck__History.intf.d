@@ -1,0 +1,1 @@
+lib/check/history.mli: Format

@@ -1,0 +1,1 @@
+lib/check/lincheck.ml: Array Bytes Char Hashtbl History List

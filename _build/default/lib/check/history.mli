@@ -1,0 +1,28 @@
+(** Concurrent histories of priority-queue operations, recorded from
+    simulator runs.
+
+    Each completed operation carries its invocation and response cycle;
+    real-time order between operations is [t1 a < t0 b].  Histories feed
+    the {!Lincheck} verifier, which decides whether the paper's
+    consistency claims (Appendix B) actually hold of the implementations. *)
+
+type op =
+  | Insert of { pri : int; payload : int; accepted : bool }
+  | Delete_min of (int * int) option
+
+type event = { proc : int; op : op; t0 : int; t1 : int }
+
+type t = event list
+
+val record :
+  queue:string ->
+  nprocs:int ->
+  npriorities:int ->
+  ops_per_proc:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** run the paper's coin-flip workload on [queue] and record every
+    operation with its timing *)
+
+val pp : Format.formatter -> t -> unit

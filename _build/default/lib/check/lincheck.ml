@@ -1,0 +1,159 @@
+type verdict = Linearizable | Not_linearizable | Gave_up
+
+exception Give_up
+
+(* Wing & Gong search: repeatedly pick an operation allowed to take effect
+   next (one that no unlinearized operation must precede), apply it to the
+   sequential specification, and backtrack on failure.  Because every
+   operation's effect is fixed by the history (a delete removes exactly
+   the element it returned), the specification state is a function of the
+   set of linearized operations — so memoising that set prunes the
+   search. *)
+
+let search ~max_states ~precedes (h : History.t) =
+  let events = Array.of_list h in
+  let n = Array.length events in
+  if n = 0 then Linearizable
+  else begin
+    let npri =
+      Array.fold_left
+        (fun acc e ->
+          match e.History.op with
+          | History.Insert { pri; _ } -> max acc (pri + 1)
+          | History.Delete_min (Some (pri, _)) -> max acc (pri + 1)
+          | History.Delete_min None -> acc)
+        1 events
+    in
+    (* spec state *)
+    let present : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let by_pri = Array.make npri 0 in
+    let min_pri () =
+      let rec go i = if i >= npri then -1 else if by_pri.(i) > 0 then i else go (i + 1) in
+      go 0
+    in
+    let legal e =
+      match e.History.op with
+      | History.Insert _ -> true
+      | History.Delete_min None -> min_pri () = -1
+      | History.Delete_min (Some (pri, payload)) ->
+          Hashtbl.mem present (pri, payload) && min_pri () = pri
+    in
+    let apply e =
+      match e.History.op with
+      | History.Insert { pri; payload; accepted } ->
+          if accepted then begin
+            Hashtbl.replace present (pri, payload) ();
+            by_pri.(pri) <- by_pri.(pri) + 1
+          end
+      | History.Delete_min None -> ()
+      | History.Delete_min (Some (pri, payload)) ->
+          Hashtbl.remove present (pri, payload);
+          by_pri.(pri) <- by_pri.(pri) - 1
+    in
+    let undo e =
+      match e.History.op with
+      | History.Insert { pri; payload; accepted } ->
+          if accepted then begin
+            Hashtbl.remove present (pri, payload);
+            by_pri.(pri) <- by_pri.(pri) - 1
+          end
+      | History.Delete_min None -> ()
+      | History.Delete_min (Some (pri, payload)) ->
+          Hashtbl.replace present (pri, payload) ();
+          by_pri.(pri) <- by_pri.(pri) + 1
+    in
+    let linearized = Array.make n false in
+    let mask = Bytes.make ((n / 8) + 1 ) '\000' in
+    let set_bit i v =
+      let byte = Char.code (Bytes.get mask (i / 8)) in
+      let bit = 1 lsl (i mod 8) in
+      Bytes.set mask (i / 8)
+        (Char.chr (if v then byte lor bit else byte land lnot bit))
+    in
+    let visited = Hashtbl.create 1024 in
+    let states = ref 0 in
+    let remaining = ref n in
+    let rec dfs () =
+      if !remaining = 0 then true
+      else begin
+        let key = Bytes.to_string mask in
+        if Hashtbl.mem visited key then false
+        else begin
+          Hashtbl.add visited key ();
+          incr states;
+          if !states > max_states then raise Give_up;
+          let ok = ref false in
+          (* heuristic order: deletes first (they constrain the state most),
+             then inserts; completeness is unaffected *)
+          let order =
+            let dels = ref [] and inss = ref [] in
+            for j = n - 1 downto 0 do
+              if not linearized.(j) then
+                match events.(j).History.op with
+                | History.Delete_min _ -> dels := j :: !dels
+                | History.Insert _ -> inss := j :: !inss
+            done;
+            Array.of_list (!dels @ !inss)
+          in
+          let i = ref 0 in
+          while (not !ok) && !i < Array.length order do
+            let cand = order.(!i) in
+            incr i;
+            if not linearized.(cand) then begin
+              (* allowed next iff no other unlinearized op must precede *)
+              let blocked = ref false in
+              for j = 0 to n - 1 do
+                if
+                  (not linearized.(j))
+                  && j <> cand
+                  && precedes events.(j) events.(cand)
+                then blocked := true
+              done;
+              if (not !blocked) && legal events.(cand) then begin
+                apply events.(cand);
+                linearized.(cand) <- true;
+                set_bit cand true;
+                decr remaining;
+                if dfs () then ok := true
+                else begin
+                  undo events.(cand);
+                  linearized.(cand) <- false;
+                  set_bit cand false;
+                  incr remaining
+                end
+              end
+            end
+          done;
+          !ok
+        end
+      end
+    in
+    try if dfs () then Linearizable else Not_linearizable
+    with Give_up -> Gave_up
+  end
+
+let linearizable ?(max_states = 2_000_000) h =
+  search ~max_states
+    ~precedes:(fun a b -> a.History.t1 < b.History.t0)
+    h
+
+let quiescently_consistent ?(max_states = 2_000_000) h =
+  (* assign epochs separated by quiescent points (instants covered by no
+     operation); only cross-epoch order is enforced *)
+  let sorted =
+    List.sort (fun a b -> compare a.History.t0 b.History.t0) h
+  in
+  let epoch_of = Hashtbl.create 64 in
+  let epoch = ref 0 in
+  let frontier = ref min_int in
+  List.iter
+    (fun e ->
+      if !frontier < e.History.t0 && !frontier > min_int then incr epoch;
+      Hashtbl.replace epoch_of (e.History.proc, e.History.t0, e.History.t1)
+        !epoch;
+      if e.History.t1 > !frontier then frontier := e.History.t1)
+    sorted;
+  let ep e =
+    Hashtbl.find epoch_of (e.History.proc, e.History.t0, e.History.t1)
+  in
+  search ~max_states ~precedes:(fun a b -> ep a < ep b) h

@@ -1,0 +1,22 @@
+(** Linearizability and quiescent-consistency checking of priority-queue
+    histories (Wing & Gong style search with memoisation).
+
+    The sequential specification is the bounded-range priority queue:
+    [Insert] adds its element (when accepted); [Delete_min] must return an
+    element of the smallest priority present, or [None] only on an empty
+    queue.  Payload choice among equal priorities is free (bins are
+    bags — the paper's footnote 7 semantics).
+
+    [linearizable] respects real-time order: operation [a] must take
+    effect before [b] whenever [a] responded before [b] was invoked.
+    [quiescently_consistent] only respects order across {e quiescent
+    points} — instants covered by no operation — which is the guarantee
+    the funnel-based queues make (Appendix B).
+
+    The search is exponential in the worst case; keep histories to a few
+    dozen overlapping operations ([max_states] bounds the effort). *)
+
+type verdict = Linearizable | Not_linearizable | Gave_up
+
+val linearizable : ?max_states:int -> History.t -> verdict
+val quiescently_consistent : ?max_states:int -> History.t -> verdict

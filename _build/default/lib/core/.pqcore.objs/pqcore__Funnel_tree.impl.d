@@ -1,0 +1,1 @@
+lib/core/funnel_tree.ml: Array Fun List Option Pq_intf Pqfunnel Pqstruct Printf Treeshape

@@ -1,0 +1,1 @@
+lib/core/funnel_tree.mli: Pq_intf Pqsim

@@ -1,0 +1,1 @@
+lib/core/hunt.ml: Api Array Mem Option Pq_intf Pqsim Pqstruct Pqsync Printf

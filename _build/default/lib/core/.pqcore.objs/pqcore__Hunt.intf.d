@@ -1,0 +1,1 @@
+lib/core/hunt.mli: Pq_intf Pqsim

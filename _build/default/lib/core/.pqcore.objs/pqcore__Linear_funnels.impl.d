@@ -1,0 +1,1 @@
+lib/core/linear_funnels.ml: Array Fun List Pq_intf Pqfunnel Pqsim

@@ -1,0 +1,1 @@
+lib/core/linear_funnels.mli: Pq_intf Pqsim

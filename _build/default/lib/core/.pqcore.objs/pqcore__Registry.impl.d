@@ -1,0 +1,1 @@
+lib/core/registry.ml: Funnel_tree Hunt Linear_funnels List Printf Simple_linear Simple_tree Single_lock Skiplist String

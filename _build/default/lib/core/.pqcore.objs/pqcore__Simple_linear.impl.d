@@ -1,0 +1,1 @@
+lib/core/simple_linear.ml: Array Fun List Pq_intf Pqstruct Printf

@@ -1,0 +1,1 @@
+lib/core/simple_linear.mli: Pq_intf Pqsim

@@ -1,0 +1,1 @@
+lib/core/simple_tree.ml: Array Fun List Option Pq_intf Pqstruct Printf Treeshape

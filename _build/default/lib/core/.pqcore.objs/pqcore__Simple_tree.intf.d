@@ -1,0 +1,1 @@
+lib/core/simple_tree.mli: Pq_intf Pqsim

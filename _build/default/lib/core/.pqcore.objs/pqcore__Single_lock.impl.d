@@ -1,0 +1,1 @@
+lib/core/single_lock.ml: Array List Option Pq_intf Pqstruct Pqsync Printf

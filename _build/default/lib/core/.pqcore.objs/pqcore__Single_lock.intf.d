@@ -1,0 +1,1 @@
+lib/core/single_lock.mli: Pq_intf Pqsim

@@ -1,0 +1,1 @@
+lib/core/skiplist.ml: Api Fun List Mem Pq_intf Pqsim Pqstruct Pqsync Printf

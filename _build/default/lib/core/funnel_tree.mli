@@ -1,0 +1,9 @@
+(** FunnelTree (the paper's headline algorithm): SimpleTree with the
+    hot-spot pieces replaced by combining funnels — funnel counters
+    (fetch-and-increment / bounded fetch-and-decrement with elimination) at
+    the top [funnel_cutoff] tree levels where traffic concentrates,
+    MCS-locked counters below, and funnel stacks as the leaf bins.
+    Quiescently consistent; the paper's method of choice for 8+ priorities
+    at high concurrency. *)
+
+val create : Pqsim.Mem.t -> Pq_intf.params -> Pq_intf.t

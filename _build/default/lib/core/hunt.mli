@@ -1,0 +1,17 @@
+(** HuntEtAl: the concurrent heap of Hunt, Michael, Parthasarathy & Scott
+    (IPL 1996), as used by the paper (Figure 11, right).
+
+    A single lock protects only the heap size; each node carries its own
+    lock and a tag (EMPTY / AVAILABLE / inserting-processor id).
+    Insertions pick their leaf slot through a bit-reversal permutation so
+    consecutive insertions ascend disjoint subtrees, and bubble their item
+    up with hand-over-hand locking, chasing it by tag if a concurrent
+    deletion's sift-down moves it.  Deletions move the last element to the
+    root and sift down top-down.  Linearizable. *)
+
+val create : Pqsim.Mem.t -> Pq_intf.params -> Pq_intf.t
+
+(** test hooks *)
+module For_tests : sig
+  val bitrev_slot : int -> int
+end

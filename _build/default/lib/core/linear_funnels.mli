@@ -1,0 +1,20 @@
+(** LinearFunnels (new in the paper): SimpleLinear with each bin replaced
+    by a combining-funnel stack.  delete-min still tests emptiness with a
+    single read of each stack's top pointer before paying for a funnel
+    traversal — the paper stresses this is crucial.  Quiescently
+    consistent; the method of choice for very small priority ranges at
+    high concurrency. *)
+
+val create : Pqsim.Mem.t -> Pq_intf.params -> Pq_intf.t
+
+val create_no_precheck : Pqsim.Mem.t -> Pq_intf.params -> Pq_intf.t
+(** ablation variant: delete-min enters the funnel without first testing
+    the stack's top pointer for emptiness *)
+
+val create_fifo : Pqsim.Mem.t -> Pq_intf.params -> Pq_intf.t
+(** Section 3.2 variant: funnel FIFO bins — fair among equal priorities,
+    no elimination *)
+
+val create_hybrid : Pqsim.Mem.t -> Pq_intf.params -> Pq_intf.t
+(** Section 3.2 variant: elimination in the funnel, FIFO order for
+    elements that reach the central queue *)

@@ -1,0 +1,34 @@
+let table =
+  [
+    ("SingleLock", Single_lock.create);
+    ("HuntEtAl", Hunt.create);
+    ("SkipList", Skiplist.create);
+    ("SimpleLinear", Simple_linear.create);
+    ("SimpleTree", Simple_tree.create);
+    ("LinearFunnels", Linear_funnels.create);
+    ("FunnelTree", Funnel_tree.create);
+    (* variants beyond the paper's seven: the no-precheck ablation and the
+       Section 3.2 fairness alternatives *)
+    ("LinearFunnelsNoCheck", Linear_funnels.create_no_precheck);
+    ("LinearFunnelsFifo", Linear_funnels.create_fifo);
+    ("LinearFunnelsHybrid", Linear_funnels.create_hybrid);
+  ]
+
+let names = List.map fst table
+
+let variants =
+  [ "LinearFunnelsNoCheck"; "LinearFunnelsFifo"; "LinearFunnelsHybrid" ]
+
+let names_paper =
+  List.filter (fun n -> not (List.mem n variants)) (List.map fst table)
+
+let scalable_names =
+  [ "SimpleLinear"; "SimpleTree"; "LinearFunnels"; "FunnelTree" ]
+
+let create name mem params =
+  match List.assoc_opt name table with
+  | Some f -> f mem params
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Registry.create: unknown queue %S (known: %s)" name
+           (String.concat ", " names))

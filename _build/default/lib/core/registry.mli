@@ -1,0 +1,14 @@
+(** Name-indexed construction of every priority queue in the paper, for
+    the benchmark harness and CLI. *)
+
+val names : string list
+(** every constructible queue, including ablation variants *)
+
+val names_paper : string list
+(** the paper's seven queues, in presentation order *)
+
+val scalable_names : string list
+(** the four queues of Figures 7-9 *)
+
+val create : string -> Pqsim.Mem.t -> Pq_intf.params -> Pq_intf.t
+(** @raise Invalid_argument on unknown names *)

@@ -1,0 +1,41 @@
+
+let create mem (p : Pq_intf.params) =
+  let bins =
+    Array.init p.npriorities (fun _ ->
+        Pqstruct.Bin.create mem ~nprocs:p.nprocs ~cap:p.bin_capacity)
+  in
+  let insert ~pri ~payload = Pqstruct.Bin.insert bins.(pri) payload in
+  let delete_min () =
+    let rec scan i =
+      if i >= p.npriorities then None
+      else if Pqstruct.Bin.is_empty bins.(i) then scan (i + 1)
+      else
+        match Pqstruct.Bin.delete bins.(i) with
+        | Some e -> Some (i, e)
+        | None -> scan (i + 1)
+    in
+    scan 0
+  in
+  let drain_now mem =
+    List.concat_map
+      (fun pri ->
+        List.map (fun e -> (pri, e)) (Pqstruct.Bin.drain_now mem bins.(pri)))
+      (List.init p.npriorities Fun.id)
+  in
+  let check_now mem =
+    let ok = ref (Ok ()) in
+    Array.iteri
+      (fun i b ->
+        if Pqstruct.Bin.size_now mem b < 0 then
+          ok := Error (Printf.sprintf "negative bin size at %d" i))
+      bins;
+    !ok
+  in
+  {
+    Pq_intf.name = "SimpleLinear";
+    npriorities = p.npriorities;
+    insert;
+    delete_min;
+    drain_now;
+    check_now;
+  }

@@ -1,0 +1,7 @@
+(** SimpleLinear (paper Figure 2): an array of MCS-locked bins, one per
+    priority.  Insertion drops the element into its priority's bin;
+    delete-min scans bins from smallest priority upward, testing emptiness
+    with a single read and locking only promising bins.  Linearizable;
+    the paper's low-concurrency champion. *)
+
+val create : Pqsim.Mem.t -> Pq_intf.params -> Pq_intf.t

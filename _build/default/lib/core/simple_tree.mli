@@ -1,0 +1,9 @@
+(** SimpleTree (paper Figure 3): a binary tree of shared counters over
+    per-priority bins.  Each internal counter holds the number of elements
+    in its left (lower-priority) subtree.  delete-min descends from the
+    root with bounded fetch-and-decrement (left when positive), insertion
+    ascends from its leaf with fetch-and-increment on every node entered
+    from the left.  Quiescently consistent; its root counter is the
+    hot-spot that motivates FunnelTree. *)
+
+val create : Pqsim.Mem.t -> Pq_intf.params -> Pq_intf.t

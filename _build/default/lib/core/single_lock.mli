@@ -1,0 +1,5 @@
+(** SingleLock: an array-based binary heap protected by one MCS lock over
+    the whole structure (paper Figure 11, left).  Linearizable; the
+    representative of centralized lock-based queues. *)
+
+val create : Pqsim.Mem.t -> Pq_intf.params -> Pq_intf.t

@@ -1,0 +1,144 @@
+open Pqsim
+
+type s = {
+  base : Pqstruct.Skipbase.t;
+  delbin : int; (* addr: priority whose bin is the delete buffer, or -1 *)
+  del_lock : Pqsync.Tas.t;
+  npriorities : int;
+}
+
+let create mem (p : Pq_intf.params) =
+  let base =
+    Pqstruct.Skipbase.create mem ~nprocs:p.nprocs ~npriorities:p.npriorities
+      ~bin_cap:p.bin_capacity ~seed:p.seed
+  in
+  let s =
+    {
+      base;
+      delbin = Mem.alloc mem 1;
+      del_lock = Pqsync.Tas.create mem;
+      npriorities = p.npriorities;
+    }
+  in
+  Mem.poke mem s.delbin (-1);
+  let insert ~pri ~payload =
+    let b = Pqstruct.Skipbase.bin (Pqstruct.Skipbase.node_of_pri s.base pri) in
+    if Pqstruct.Bin.insert b payload then begin
+      Pqstruct.Skipbase.ensure_threaded s.base pri;
+      true
+    end
+    else false
+  in
+  let delete_min () =
+    (* Drain the delete buffer; when it runs dry, one processor advances it
+       to the (unthreaded) first node of the list.  An element of smaller
+       priority threaded after the buffer was detached is served first —
+       Figure 12 omits this check, but without it the queue is not
+       linearizable (a stale buffer would shadow a smaller arrival). *)
+    let rec loop () =
+      let db = Api.read s.delbin in
+      (* walk the threaded nodes below the buffer's priority; emptiness
+         tests are single (usually cached) reads, as in SimpleLinear *)
+      let rec walk node =
+        match node with
+        | Some f when db < 0 || Pqstruct.Skipbase.pri f < db ->
+            let b = Pqstruct.Skipbase.bin f in
+            if Pqstruct.Bin.is_empty b then walk (Pqstruct.Skipbase.next s.base f)
+            else (
+              match Pqstruct.Bin.delete b with
+              | Some e -> Some (Pqstruct.Skipbase.pri f, e)
+              | None -> walk (Pqstruct.Skipbase.next s.base f))
+        | Some _ | None -> None
+      in
+      let from_list = walk (Pqstruct.Skipbase.first s.base) in
+      let grabbed =
+        match from_list with
+        | Some _ -> from_list
+        | None ->
+            if db < 0 then None
+            else
+              let node = Pqstruct.Skipbase.node_of_pri s.base db in
+              (match Pqstruct.Bin.delete (Pqstruct.Skipbase.bin node) with
+              | Some e -> Some (db, e)
+              | None -> None)
+      in
+      match grabbed with
+      | Some _ as r -> r
+      | None ->
+          if Pqsync.Tas.try_acquire s.del_lock then begin
+            (* re-check under the lock: the buffer may have been refilled
+               or advanced meanwhile *)
+            let db' = Api.read s.delbin in
+            let refilled =
+              db' <> db
+              || db' >= 0
+                 && not
+                      (Pqstruct.Bin.is_empty
+                         (Pqstruct.Skipbase.bin
+                            (Pqstruct.Skipbase.node_of_pri s.base db')))
+            in
+            if refilled then begin
+              Pqsync.Tas.release s.del_lock;
+              loop ()
+            end
+            else begin
+              match Pqstruct.Skipbase.unthread_first s.base with
+              | Some node ->
+                  Api.write s.delbin (Pqstruct.Skipbase.pri node);
+                  Pqsync.Tas.release s.del_lock;
+                  loop ()
+              | None ->
+                  (* empty list, or first node's threading in flight *)
+                  let inflight = Pqstruct.Skipbase.first s.base <> None in
+                  Pqsync.Tas.release s.del_lock;
+                  if inflight then loop () else None
+            end
+          end
+          else begin
+            (* someone else is advancing the buffer *)
+            Api.work 8;
+            loop ()
+          end
+    in
+    loop ()
+  in
+  let drain_now mem =
+    List.concat_map
+      (fun pri ->
+        let b =
+          Pqstruct.Skipbase.bin (Pqstruct.Skipbase.node_of_pri s.base pri)
+        in
+        List.map (fun e -> (pri, e)) (Pqstruct.Bin.drain_now mem b))
+      (List.init s.npriorities Fun.id)
+  in
+  let check_now mem =
+    match Pqstruct.Skipbase.invariants_now mem s.base with
+    | Error _ as e -> e
+    | Ok () ->
+        (* every priority with a non-empty bin must be reachable: threaded,
+           or sitting in the delete buffer *)
+        let db = Mem.peek mem s.delbin in
+        let rec go pri =
+          if pri >= s.npriorities then Ok ()
+          else
+            let node = Pqstruct.Skipbase.node_of_pri s.base pri in
+            let occupied =
+              Pqstruct.Bin.size_now mem (Pqstruct.Skipbase.bin node) > 0
+            in
+            if
+              occupied
+              && (not (Pqstruct.Skipbase.threaded_now mem node))
+              && pri <> db
+            then Error (Printf.sprintf "stranded items at priority %d" pri)
+            else go (pri + 1)
+        in
+        go 0
+  in
+  {
+    Pq_intf.name = "SkipList";
+    npriorities = p.npriorities;
+    insert;
+    delete_min;
+    drain_now;
+    check_now;
+  }

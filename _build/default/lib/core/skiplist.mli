@@ -1,0 +1,17 @@
+(** SkipList: bounded-range priority queue over a concurrent skip list
+    (paper Figure 12) — Pugh's threading with per-node locks, one
+    pre-allocated node + bin per priority, and Johnson's "delete bin":
+    deletions drain a buffer holding the most recently unthreaded minimal
+    node, and the first processor to find it empty unlinks the current
+    first node and redirects the buffer to it.  Representative of the
+    search-structure family of queues.
+
+    One departure from the paper's pseudo-code, which claims the queue is
+    linearizable: as given in Figure 12, a delete buffer with items
+    shadows any smaller-priority element inserted after the buffer was
+    detached (model-based testing finds the violation quickly).  Our
+    delete-min therefore first walks the threaded nodes below the
+    buffer's priority — emptiness tests are single, normally cached,
+    reads — restoring the claimed semantics at negligible cost. *)
+
+val create : Pqsim.Mem.t -> Pq_intf.params -> Pq_intf.t

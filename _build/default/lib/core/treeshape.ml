@@ -1,0 +1,23 @@
+(** Shape helpers shared by the tree-of-counters queues (SimpleTree and
+    FunnelTree).
+
+    A complete binary tree over [nleaves] = next power of two above the
+    priority range.  Internal nodes use 1-based heap indexing (root 1,
+    children 2n / 2n+1); leaf for priority [i] is node [nleaves + i].
+    Each internal node's counter tracks the number of elements in its
+    {e left} (lower priority) subtree. *)
+
+let leaves_for npriorities =
+  let rec go n = if n >= npriorities then n else go (2 * n) in
+  go 1
+
+let depth_of node =
+  let rec go n d = if n <= 1 then d else go (n / 2) (d + 1) in
+  go node 0
+
+let leaf_index ~nleaves pri = nleaves + pri
+let is_leaf ~nleaves node = node >= nleaves
+let parent node = node / 2
+let left node = 2 * node
+let right node = (2 * node) + 1
+let is_left_child node = node land 1 = 0

@@ -1,0 +1,1 @@
+lib/counters/adapters.ml: Ctr_intf Pqfunnel Pqstruct

@@ -1,0 +1,1 @@
+lib/counters/adapters.mli: Ctr_intf Pqsim

@@ -1,0 +1,1 @@
+lib/counters/bitonic.ml: Api Array Ctr_intf Fun List Mem Pqsim Pqsync Printf

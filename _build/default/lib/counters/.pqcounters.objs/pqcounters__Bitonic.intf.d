@@ -1,0 +1,1 @@
+lib/counters/bitonic.mli: Ctr_intf Pqsim

@@ -1,0 +1,1 @@
+lib/counters/combtree.ml: Api Array Ctr_intf List Mem Pqsim Pqsync

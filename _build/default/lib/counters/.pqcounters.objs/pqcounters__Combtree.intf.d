@@ -1,0 +1,1 @@
+lib/counters/combtree.mli: Ctr_intf Pqsim

@@ -1,0 +1,1 @@
+lib/counters/ctr_intf.ml: Pqsim

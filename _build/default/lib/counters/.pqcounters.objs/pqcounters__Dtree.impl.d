@@ -1,0 +1,1 @@
+lib/counters/dtree.ml: Api Array Ctr_intf Mem Pqsim Pqsync Printf

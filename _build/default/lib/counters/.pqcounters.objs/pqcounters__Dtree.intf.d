@@ -1,0 +1,1 @@
+lib/counters/dtree.mli: Ctr_intf Pqsim

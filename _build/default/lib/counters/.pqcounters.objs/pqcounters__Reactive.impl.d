@@ -1,0 +1,1 @@
+lib/counters/reactive.ml: Api Array Combtree Ctr_intf Hashtbl Mem Pqsim Pqsync Printf

@@ -1,0 +1,1 @@
+lib/counters/reactive.mli: Ctr_intf Pqsim

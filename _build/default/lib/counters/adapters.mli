@@ -1,0 +1,11 @@
+(** {!Ctr_intf.t} views of the other fetch-and-increment implementations
+    in this repository, so the counter shootout can sweep one list. *)
+
+val cas : Pqsim.Mem.t -> Ctr_intf.t
+(** bare CAS retry loop on one word *)
+
+val mcs : Pqsim.Mem.t -> nprocs:int -> Ctr_intf.t
+(** MCS-lock-protected counter *)
+
+val funnel : Pqsim.Mem.t -> nprocs:int -> Ctr_intf.t
+(** combining funnel (homogeneous increments) *)

@@ -1,0 +1,17 @@
+(** Bitonic counting network (Aspnes, Herlihy & Shavit, JACM 1994).
+
+    A width-[w] network of two-input {e balancers} — toggle bits that send
+    successive tokens alternately to their top and bottom output wires —
+    wired as Batcher's bitonic merger.  Tokens enter on any wire, traverse
+    O(log² w) balancer stages, and leave with the {e step property}: the
+    i-th output wire (in the network's output order) dispenses values
+    i, i+w, i+2w, ...  Contention at any single balancer is a fraction of
+    the total load, which is what makes the network scale; but tokens
+    cannot be "un-counted", so no bounded decrement is possible — the
+    limitation the paper's funnel counter lifts. *)
+
+val create : Pqsim.Mem.t -> width:int -> Ctr_intf.t
+(** [width] must be a power of two *)
+
+val stages : width:int -> int
+(** network depth, for tests: bitonic[w] has k(k+1)/2 stages, w = 2^k *)

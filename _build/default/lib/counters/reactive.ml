@@ -1,0 +1,71 @@
+open Pqsim
+
+(* mode addresses of created counters, keyed by the counter's name-unique
+   closure identity; we stash the mode address in the record's name via a
+   side table instead of widening Ctr_intf *)
+let mode_table : (string, int) Hashtbl.t = Hashtbl.create 8
+let instances = ref 0
+
+let create mem ~nprocs ?(up_after = 1) ?(down_after = 8) () =
+  let central = Mem.alloc mem 1 in
+  let mode = Mem.alloc mem 1 in
+  let lock = Pqsync.Tas.create mem in
+  let solo = Array.make nprocs 0 in
+  let busy_streak = Array.make nprocs 0 in
+  let tree = Combtree.create mem ~nprocs ~central ~solo () in
+  let cas_faa addr =
+    let b = Pqsync.Backoff.make () in
+    let rec go () =
+      let v = Api.read addr in
+      if Api.cas addr ~expected:v ~desired:(v + 1) then v
+      else begin
+        Pqsync.Backoff.once b;
+        go ()
+      end
+    in
+    go ()
+  in
+  let inc () =
+    let me = Api.self () in
+    if Api.read mode = 0 then begin
+      (* lock path; count failed acquisition attempts as a load signal *)
+      let fails = ref 0 in
+      let b = Pqsync.Backoff.make () in
+      while not (Pqsync.Tas.try_acquire lock) do
+        incr fails;
+        Pqsync.Backoff.once b
+      done;
+      let v = cas_faa central in
+      Pqsync.Tas.release lock;
+      if !fails >= 2 then begin
+        busy_streak.(me) <- busy_streak.(me) + 1;
+        if busy_streak.(me) >= up_after then begin
+          Api.write mode 1;
+          busy_streak.(me) <- 0
+        end
+      end
+      else busy_streak.(me) <- 0;
+      v
+    end
+    else begin
+      let v = tree.Ctr_intf.inc () in
+      if solo.(me) >= down_after then begin
+        Api.write mode 0;
+        solo.(me) <- 0
+      end;
+      v
+    end
+  in
+  let name = Printf.sprintf "reactive#%d" !instances in
+  incr instances;
+  Hashtbl.replace mode_table name mode;
+  {
+    Ctr_intf.name;
+    inc;
+    read_now = (fun mem -> Mem.peek mem central);
+  }
+
+let mode_now mem (c : Ctr_intf.t) =
+  match Hashtbl.find_opt mode_table c.Ctr_intf.name with
+  | Some addr -> Mem.peek mem addr
+  | None -> invalid_arg "Reactive.mode_now: not a reactive counter"

@@ -1,0 +1,1 @@
+lib/funnel/engine.ml: Api Array Float List Mem Pqsim Pqsync

@@ -1,0 +1,1 @@
+lib/funnel/engine.mli: Pqsim

@@ -1,0 +1,1 @@
+lib/funnel/fcounter.ml: Api Engine List Mem Pqsim

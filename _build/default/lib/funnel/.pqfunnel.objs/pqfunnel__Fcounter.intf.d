@@ -1,0 +1,1 @@
+lib/funnel/fcounter.mli: Engine Pqsim

@@ -1,0 +1,1 @@
+lib/funnel/fqueue.ml: Api Engine List Mem Pool Pqsim Pqsync

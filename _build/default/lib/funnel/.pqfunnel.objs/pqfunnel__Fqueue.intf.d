@@ -1,0 +1,1 @@
+lib/funnel/fqueue.mli: Engine Pool Pqsim

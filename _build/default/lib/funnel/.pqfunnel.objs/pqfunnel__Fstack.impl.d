@@ -1,0 +1,1 @@
+lib/funnel/fstack.ml: Api Engine List Mem Pool Pqsim

@@ -1,0 +1,1 @@
+lib/funnel/fstack.mli: Engine Pool Pqsim

@@ -1,0 +1,1 @@
+lib/funnel/pool.ml: Array Pqsim

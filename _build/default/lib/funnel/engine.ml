@@ -1,0 +1,232 @@
+open Pqsim
+
+let flag_empty = 0
+let flag_elim = 1
+let flag_count = 2
+let flag_elim_match = 3
+let flag_elim_done = 4
+
+(* internal: an incompatible collision released the partner; it must
+   resume its collision phase instead of completing *)
+let flag_retry = 5
+
+(* location word states; values >= 0 mean "collidable at that layer" *)
+let idle = -2
+let locked = -1
+
+type config = {
+  levels : int;
+  attempts : int;
+  widths : int array;
+  spins : int array;
+  adaptive : bool;
+}
+
+let default_config ~nprocs =
+  let levels = if nprocs <= 2 then 1 else if nprocs <= 16 then 2 else 3 in
+  let widths =
+    Array.init levels (fun d -> max 1 (nprocs / (2 * (1 lsl d))))
+  in
+  let spins = Array.init levels (fun d -> 16 + (8 * d)) in
+  { levels; attempts = 2; widths; spins; adaptive = true }
+
+(* per-processor record layout *)
+let off_sum = 0
+let off_loc = 1
+let off_flag = 2
+let off_rval = 3
+let off_opval = 4
+let off_nkids = 5
+let off_kids = 6
+
+type t = {
+  nprocs : int;
+  cfg : config;
+  layers : int array; (* base address per level *)
+  recs : int; (* base address of per-processor records *)
+  rec_size : int;
+  adapt : float array; (* host-side, processor-local adaption factor *)
+}
+
+let create mem ~nprocs ~config =
+  let max_kids = config.levels + 2 in
+  let rec_size = off_kids + max_kids in
+  let layers =
+    Array.map
+      (fun w ->
+        let a = Mem.alloc mem w in
+        for i = 0 to w - 1 do
+          Mem.poke mem (a + i) (-1) (* NOBODY *)
+        done;
+        a)
+      config.widths
+  in
+  let recs = Mem.alloc mem (nprocs * rec_size) in
+  for p = 0 to nprocs - 1 do
+    Mem.poke mem (recs + (p * rec_size) + off_loc) idle
+  done;
+  (* adaption starts narrow: a lightly loaded funnel behaves like its
+     central object alone, and central contention widens it within a few
+     operations *)
+  {
+    nprocs;
+    cfg = config;
+    layers;
+    recs;
+    rec_size;
+    adapt = Array.make nprocs 0.05;
+  }
+
+let config t = t.cfg
+let rec_base t pid = t.recs + (pid * t.rec_size)
+let loc_addr t pid = rec_base t pid + off_loc
+let sum_addr t pid = rec_base t pid + off_sum
+let flag_addr t pid = rec_base t pid + off_flag
+let rval_addr t pid = rec_base t pid + off_rval
+let sum_of t pid = Api.read (sum_addr t pid)
+let opval_of t pid = Api.read (rec_base t pid + off_opval)
+
+let children_of t pid =
+  let base = rec_base t pid in
+  let n = Api.read (base + off_nkids) in
+  List.init n (fun i -> Api.read (base + off_kids + i))
+
+let set_result t pid ~flag ~value =
+  Api.write (rval_addr t pid) value;
+  Api.write (flag_addr t pid) flag
+
+let append_child t pid child =
+  let base = rec_base t pid in
+  let n = Api.read (base + off_nkids) in
+  assert (n < t.rec_size - off_kids);
+  Api.write (base + off_kids + n) child;
+  Api.write (base + off_nkids) (n + 1)
+
+let note_success t pid =
+  if t.cfg.adaptive then
+    t.adapt.(pid) <- Float.min 1.0 (t.adapt.(pid) *. 1.5)
+
+let note_failure t pid =
+  if t.cfg.adaptive then t.adapt.(pid) <- Float.max 0.05 (t.adapt.(pid) *. 0.9)
+
+(* contention at the central object is the strongest signal that combining
+   is worth paying for *)
+let note_contention t pid =
+  if t.cfg.adaptive then
+    t.adapt.(pid) <- Float.min 1.0 (t.adapt.(pid) *. 2.0)
+
+(* Under persistently low load a processor skips the collision phase and
+   goes straight to the central object — the paper's "simply apply the
+   operation and be done". *)
+let skip_collisions t pid = t.cfg.adaptive && t.adapt.(pid) <= 0.1
+
+let effective_width t pid d =
+  let w = t.cfg.widths.(d) in
+  if not t.cfg.adaptive then w
+  else max 1 (int_of_float (t.adapt.(pid) *. float_of_int w))
+
+type outcome = { flag : int; value : int }
+
+exception Done
+exception Caught
+
+let operate t ~sign ~opval ~homogeneous ~allow_elim ~eliminate ~try_central
+    ~distribute =
+  let me = Api.self () in
+  let base = rec_base t me in
+  Api.write (base + off_sum) sign;
+  Api.write (base + off_nkids) 0;
+  Api.write (base + off_flag) flag_empty;
+  Api.write (base + off_opval) opval;
+  let d = ref 0 in
+  Api.write (base + off_loc) 0;
+  let backoff = Pqsync.Backoff.make () in
+  let collision_phase () =
+    try
+      while true do
+       (* collision phase (paper Fig. 10, lines 5-27) *)
+       let n = ref (if skip_collisions t me then t.cfg.attempts else 0) in
+       while !n < t.cfg.attempts && !d < t.cfg.levels do
+         incr n;
+         let width = effective_width t me !d in
+         let slot = t.layers.(!d) + Api.rand width in
+         let q = Api.swap slot me in
+         if q >= 0 && q <> me then begin
+           if Api.cas (loc_addr t me) ~expected:!d ~desired:locked then begin
+             if Api.cas (loc_addr t q) ~expected:!d ~desired:locked then begin
+               let qsum = Api.read (sum_addr t q) in
+               let mysum = Api.read (sum_addr t me) in
+               if allow_elim && qsum + mysum = 0 then begin
+                 (* reversing operations of equal size: both trees finish
+                    without touching the central object *)
+                 note_success t me;
+                 eliminate ~partner:q;
+                 raise Done
+               end
+               else if (not homogeneous) || qsum = mysum then begin
+                 note_success t me;
+                 Api.write (sum_addr t me) (mysum + qsum);
+                 append_child t me q;
+                 incr d;
+                 n := 0;
+                 Api.write (loc_addr t me) !d
+               end
+               else begin
+                 (* Homogeneity forbids this pairing.  [q] may already have
+                    concluded it was caught, so release it through the
+                    result channel: it resumes its collision phase. *)
+                 set_result t q ~flag:flag_retry ~value:0;
+                 Api.write (loc_addr t me) !d;
+                 note_failure t me
+               end
+             end
+             else begin
+               Api.write (loc_addr t me) !d;
+               note_failure t me
+             end
+           end
+           else raise Caught
+         end
+         else note_failure t me;
+         if !d < t.cfg.levels then begin
+           (* linger, hoping somebody collides with us *)
+           Api.work t.cfg.spins.(!d);
+           if Api.read (loc_addr t me) <> !d then raise Caught
+         end
+       done;
+       (* central phase (lines 28-37) *)
+       if Api.cas (loc_addr t me) ~expected:!d ~desired:locked then begin
+         match try_central ~sum:(Api.read (sum_addr t me)) with
+         | Some v ->
+             set_result t me ~flag:flag_count ~value:v;
+             raise Done
+         | None ->
+             note_contention t me;
+             Api.write (loc_addr t me) !d;
+             Pqsync.Backoff.once backoff
+       end
+       else raise Caught
+      done
+    with Done | Caught -> ()
+  in
+  (* Wait for the result, then hand values down the combining tree
+     (lines 39-47).  Callbacks must read everything they need from a
+     subtree member before setting its flag.  A [flag_retry] result means
+     an incompatible collision bounced us back into the funnel. *)
+  let rec complete () =
+    collision_phase ();
+    let flag = Api.await (flag_addr t me) ~until:(fun v -> v <> flag_empty) in
+    if flag = flag_retry then begin
+      Api.write (base + off_flag) flag_empty;
+      Api.write (base + off_loc) !d;
+      complete ()
+    end
+    else begin
+      let value = Api.read (base + off_rval) in
+      let children = children_of t me in
+      distribute ~flag ~value ~children;
+      Api.write (base + off_loc) idle;
+      { flag; value }
+    end
+  in
+  complete ()

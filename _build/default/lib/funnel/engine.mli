@@ -1,0 +1,94 @@
+(** The combining-funnel collision engine (Shavit & Zemach 1998/99).
+
+    A funnel is a small stack of {e combining layers} — arrays in shared
+    memory through which processors heading for the same central object
+    locate each other.  A processor passing through a layer swaps its id
+    into a random slot, reads the previous occupant's id and tries to
+    {e collide} with it by locking first its own and then the partner's
+    [location] word with compare-and-swap.  A successful collision either
+
+    - {e combines} the two operations: the winner absorbs the loser's
+      operation sum, adopts it as a child of its dynamically formed
+      combining tree and advances to the next layer; or
+    - {e eliminates} them, when the two sides carry reversing operations of
+      equal tree size: both trees complete immediately without touching
+      the central object.
+
+    A processor that exhausts its collision attempts applies its combined
+    operation to the central object (through the [try_central] callback)
+    and then {e distributes} results down its tree.
+
+    Trees can be kept {e homogeneous} (single operation kind, matching
+    sizes — required for bounded counters, whose operations do not
+    commute) or free-form (plain fetch-and-add).  Adaption narrows the
+    slice of each layer a processor uses, based on its local collision
+    success rate.
+
+    This module owns the layer machinery, per-processor funnel records and
+    the wait/distribute phases; the central-object semantics live in
+    {!Fcounter} and {!Fstack}. *)
+
+type t
+
+(** result_flag values *)
+
+val flag_empty : int
+val flag_elim : int  (** counter elimination: value is the return value *)
+
+val flag_count : int
+    (** operation applied at the central object: value is the base *)
+
+val flag_elim_match : int
+    (** stack pop matched a push: value is the partner's processor id *)
+
+val flag_elim_done : int  (** stack push consumed by elimination *)
+
+type config = {
+  levels : int;  (** number of combining layers *)
+  attempts : int;  (** collision attempts before trying the central object *)
+  widths : int array;  (** slots per layer *)
+  spins : int array;  (** cycles to linger at each layer after a swap *)
+  adaptive : bool;  (** narrow layers under low collision success *)
+}
+
+val default_config : nprocs:int -> config
+(** layer widths scale with the machine size; a 2-processor funnel
+    degenerates to one narrow layer *)
+
+val create : Pqsim.Mem.t -> nprocs:int -> config:config -> t
+
+val config : t -> config
+
+(** {1 Record accessors (processor-side, for central/distribute callbacks)} *)
+
+val sum_of : t -> int -> int
+(** [sum_of t pid] — costed read of pid's current subtree sum *)
+
+val opval_of : t -> int -> int
+val children_of : t -> int -> int list
+val set_result : t -> int -> flag:int -> value:int -> unit
+(** write a waiting processor's result word (flag written last) *)
+
+type outcome = { flag : int; value : int }
+
+val operate :
+  t ->
+  sign:int ->
+  opval:int ->
+  homogeneous:bool ->
+  allow_elim:bool ->
+  eliminate:(partner:int -> unit) ->
+  try_central:(sum:int -> int option) ->
+  distribute:(flag:int -> value:int -> children:int list -> unit) ->
+  outcome
+(** [operate t ~sign ~opval ...] runs one operation of the calling
+    processor through the funnel.
+
+    [sign] is +1/-1 weight of the operation; [opval] is an auxiliary word
+    stored in the record (e.g. the value a stack push carries).  With
+    [homogeneous] only same-sum trees combine; [allow_elim] enables
+    elimination of opposite same-size trees, invoking [eliminate
+    ~partner] on the winning root, which must set {e both} roots' results.
+    [try_central ~sum] applies the combined operation, returning [None]
+    to retry under contention.  After the processor's own result is known,
+    [distribute] is invoked with its children (may be empty). *)

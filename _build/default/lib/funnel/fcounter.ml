@@ -1,0 +1,115 @@
+open Pqsim
+
+type t = {
+  f : Engine.t;
+  main : int;
+  elim : bool;
+  floor : int option;
+  ceil : int option;
+}
+
+let create mem ~nprocs ?config ?(elim = true) ?floor ?ceil ~init () =
+  let config =
+    match config with Some c -> c | None -> Engine.default_config ~nprocs
+  in
+  let main = Mem.alloc mem 1 in
+  Mem.poke mem main init;
+  { f = Engine.create mem ~nprocs ~config; main; elim; floor; ceil }
+
+let get t = Api.read t.main
+let peek mem t = Mem.peek mem t.main
+
+(* Elimination short-cut (Fig. 10 lines 12-17): pretend the increment tree
+   lands just before the decrement tree, so the counter never moves.  With
+   a floor the starting point is clamped so the decrement is the one that
+   "succeeds" at the boundary. *)
+let eliminate t ~my_sign ~me ~partner =
+  let v = Api.read t.main in
+  let v =
+    match t.floor with Some b when v <= b -> b + 1 | Some _ | None -> v
+  in
+  let v =
+    match t.ceil with Some b when v >= b -> b - 1 | Some _ | None -> v
+  in
+  let dec_result = v and inc_result = v - 1 in
+  let mine, theirs =
+    if my_sign < 0 then (dec_result, inc_result) else (inc_result, dec_result)
+  in
+  Engine.set_result t.f partner ~flag:Engine.flag_elim ~value:theirs;
+  Engine.set_result t.f me ~flag:Engine.flag_elim ~value:mine
+
+(* Prefix-sum distribution (Fig. 10 lines 41-47): in the assumed
+   serialization the root goes first, then each child subtree in combining
+   order. *)
+let distribute t ~my_sign ~flag ~value ~children =
+  if flag = Engine.flag_elim then
+    List.iter
+      (fun c -> Engine.set_result t.f c ~flag:Engine.flag_elim ~value)
+      children
+  else begin
+    let total = ref my_sign in
+    List.iter
+      (fun c ->
+        (* read the child's subtree sum before releasing it *)
+        let csum = Engine.sum_of t.f c in
+        Engine.set_result t.f c ~flag:Engine.flag_count ~value:(value + !total);
+        total := !total + csum)
+      children
+  end
+
+(* The paper's machine offers only swap and compare-and-swap, so even the
+   unbounded counter applies its combined sum with a CAS (the engine
+   retries on failure). *)
+let central_unbounded t ~sum =
+  let v = Api.read t.main in
+  if Api.cas t.main ~expected:v ~desired:(v + sum) then Some v else None
+
+let central_bounded t ~clamp ~sum =
+  let v = Api.read t.main in
+  let target = clamp (v + sum) in
+  if target = v then Some v (* nothing applies; no write needed *)
+  else if Api.cas t.main ~expected:v ~desired:target then Some v
+  else None
+
+let run t ~sign ~homogeneous ~try_central =
+  let me = Api.self () in
+  let outcome =
+    Engine.operate t.f ~sign ~opval:0 ~homogeneous ~allow_elim:t.elim
+      ~eliminate:(fun ~partner -> eliminate t ~my_sign:sign ~me ~partner)
+      ~try_central
+      ~distribute:(fun ~flag ~value ~children ->
+        distribute t ~my_sign:sign ~flag ~value ~children)
+  in
+  outcome.Engine.value
+
+let inc t =
+  match t.ceil with
+  | None -> run t ~sign:1 ~homogeneous:true ~try_central:(central_unbounded t)
+  | Some b ->
+      let clamp v = if v > b then b else v in
+      run t ~sign:1 ~homogeneous:true ~try_central:(central_bounded t ~clamp)
+
+let dec t =
+  match t.floor with
+  | None ->
+      run t ~sign:(-1) ~homogeneous:true ~try_central:(central_unbounded t)
+  | Some b ->
+      let clamp v = if v < b then b else v in
+      run t ~sign:(-1) ~homogeneous:true
+        ~try_central:(central_bounded t ~clamp)
+
+let add t delta =
+  if delta = 0 then Api.read t.main
+  else begin
+    if t.floor <> None || t.ceil <> None then
+      invalid_arg "Fcounter.add: bounded counters need inc/dec";
+    let outcome =
+      Engine.operate t.f ~sign:delta ~opval:0 ~homogeneous:false
+        ~allow_elim:false
+        ~eliminate:(fun ~partner:_ -> assert false)
+        ~try_central:(central_unbounded t)
+        ~distribute:(fun ~flag ~value ~children ->
+          distribute t ~my_sign:delta ~flag ~value ~children)
+    in
+    outcome.Engine.value
+  end

@@ -1,0 +1,163 @@
+open Pqsim
+
+(* node layout: [value][next]; central FIFO = head + tail words behind a
+   test-and-set lock (the funnel keeps arrivals rare) *)
+
+type t = {
+  f : Engine.t;
+  head : int;
+  tail : int;
+  lock : Pqsync.Tas.t;
+  pool : Pool.t;
+  elim : bool;
+}
+
+let create mem ~nprocs ?config ?(elim = false) ?pool ?(max_pushes_per_proc = 0)
+    () =
+  let config =
+    match config with Some c -> c | None -> Engine.default_config ~nprocs
+  in
+  let pool =
+    match pool with
+    | Some p -> p
+    | None ->
+        if max_pushes_per_proc <= 0 then
+          invalid_arg "Fqueue.create: need a pool or max_pushes_per_proc";
+        Pool.create mem ~nprocs ~pushes_per_proc:max_pushes_per_proc
+  in
+  {
+    f = Engine.create mem ~nprocs ~config;
+    head = Mem.alloc mem 1;
+    tail = Mem.alloc mem 1;
+    lock = Pqsync.Tas.create mem;
+    pool;
+    elim;
+  }
+
+let value_of node = node
+let next_of node = node + 1
+let is_empty t = Api.read t.head = 0
+
+(* preorder: root's element first, then each child subtree in combining
+   order — the same serialization the dequeue distribution assumes *)
+let rec preorder t pid =
+  Engine.opval_of t.f pid
+  :: List.concat_map (preorder t) (Engine.children_of t.f pid)
+
+let try_central_enq t me ~sum =
+  assert (sum > 0);
+  let nodes = preorder t me in
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+        Api.write (next_of a) b;
+        link rest
+    | [ last ] -> Api.write (next_of last) 0
+    | [] -> ()
+  in
+  link nodes;
+  match nodes with
+  | [] -> Some 0
+  | first :: _ ->
+      let last = List.nth nodes (List.length nodes - 1) in
+      Pqsync.Tas.acquire t.lock;
+      let tl = Api.read t.tail in
+      if tl = 0 then Api.write t.head first
+      else Api.write (next_of tl) first;
+      Api.write t.tail last;
+      Pqsync.Tas.release t.lock;
+      Some 0
+
+let try_central_deq t ~sum =
+  let k = -sum in
+  assert (k > 0);
+  Pqsync.Tas.acquire t.lock;
+  let h = Api.read t.head in
+  let r =
+    if h = 0 then Some 0
+    else begin
+      let rec walk last j =
+        if j >= k then last
+        else
+          let nxt = Api.read (next_of last) in
+          if nxt = 0 then last else walk nxt (j + 1)
+      in
+      let last = walk h 1 in
+      let new_head = Api.read (next_of last) in
+      Api.write t.head new_head;
+      if new_head = 0 then Api.write t.tail 0;
+      (* detach, so drains and stale readers never run past the slice *)
+      Api.write (next_of last) 0;
+      Some h
+    end
+  in
+  Pqsync.Tas.release t.lock;
+  r
+
+let advance chain n =
+  let rec go c i =
+    if c = 0 || i = 0 then c else go (Api.read (next_of c)) (i - 1)
+  in
+  go chain n
+
+let consume_partner t ~my_children ~partner =
+  let v = Api.read (value_of (Engine.opval_of t.f partner)) in
+  let pkids = Engine.children_of t.f partner in
+  List.iter2
+    (fun mine theirs ->
+      Engine.set_result t.f mine ~flag:Engine.flag_elim_match ~value:theirs)
+    my_children pkids;
+  Engine.set_result t.f partner ~flag:Engine.flag_elim_done ~value:0;
+  v
+
+let enqueue t v =
+  let me = Api.self () in
+  let node = Pool.alloc t.pool ~pid:me in
+  Api.write (value_of node) v;
+  Api.write (next_of node) 0;
+  ignore
+    (Engine.operate t.f ~sign:1 ~opval:node ~homogeneous:true
+       ~allow_elim:t.elim
+       ~eliminate:(fun ~partner ->
+         Engine.set_result t.f partner ~flag:Engine.flag_elim_match ~value:me)
+       ~try_central:(fun ~sum -> try_central_enq t me ~sum)
+       ~distribute:(fun ~flag ~value ~children ->
+         ignore value;
+         if flag = Engine.flag_count then
+           List.iter
+             (fun c -> Engine.set_result t.f c ~flag:Engine.flag_count ~value:0)
+             children))
+
+let dequeue t =
+  let me = Api.self () in
+  let got = ref None in
+  ignore
+    (Engine.operate t.f ~sign:(-1) ~opval:0 ~homogeneous:true
+       ~allow_elim:t.elim
+       ~eliminate:(fun ~partner ->
+         Engine.set_result t.f me ~flag:Engine.flag_elim_match ~value:partner)
+       ~try_central:(fun ~sum -> try_central_deq t ~sum)
+       ~distribute:(fun ~flag ~value ~children ->
+         if flag = Engine.flag_elim_match then
+           got := Some (consume_partner t ~my_children:children ~partner:value)
+         else begin
+           (if value <> 0 then got := Some (Api.read (value_of value)));
+           let chain = ref (if value = 0 then 0 else advance value 1) in
+           List.iter
+             (fun c ->
+               let csize = -Engine.sum_of t.f c in
+               Engine.set_result t.f c ~flag:Engine.flag_count ~value:!chain;
+               chain := advance !chain csize)
+             children
+         end));
+  !got
+
+let size_now mem t =
+  let rec go c n = if c = 0 then n else go (Mem.peek mem (next_of c)) (n + 1) in
+  go (Mem.peek mem t.head) 0
+
+let drain_now mem t =
+  let rec go c acc =
+    if c = 0 then List.rev acc
+    else go (Mem.peek mem (next_of c)) (Mem.peek mem (value_of c) :: acc)
+  in
+  go (Mem.peek mem t.head) []

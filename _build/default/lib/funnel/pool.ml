@@ -1,0 +1,14 @@
+type t = { base : int; cap : int; used : int array }
+
+let create mem ~nprocs ~pushes_per_proc =
+  {
+    base = Pqsim.Mem.alloc mem (nprocs * pushes_per_proc * 2);
+    cap = pushes_per_proc;
+    used = Array.make nprocs 0;
+  }
+
+let alloc t ~pid =
+  let i = t.used.(pid) in
+  if i >= t.cap then failwith "Pool: node pool exhausted";
+  t.used.(pid) <- i + 1;
+  t.base + (((pid * t.cap) + i) * 2)

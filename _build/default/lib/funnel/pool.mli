@@ -1,0 +1,15 @@
+(** Shared node pool for funnel stacks.
+
+    Stack nodes are bump-allocated per processor and never reused (detached
+    pop chains must stay immutable).  When one queue contains many stacks —
+    LinearFunnels has one per priority — they share a single pool sized by
+    the total number of pushes a processor will ever perform against the
+    whole queue. *)
+
+type t
+
+val create : Pqsim.Mem.t -> nprocs:int -> pushes_per_proc:int -> t
+
+val alloc : t -> pid:int -> int
+(** returns the address of a fresh 2-word node; raises [Failure] when the
+    processor's share is exhausted *)

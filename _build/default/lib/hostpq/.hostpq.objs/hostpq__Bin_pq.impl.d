@@ -1,0 +1,1 @@
+lib/hostpq/bin_pq.ml: Array Atomic Mutex

@@ -1,0 +1,1 @@
+lib/hostpq/bin_pq.mli: Host_intf

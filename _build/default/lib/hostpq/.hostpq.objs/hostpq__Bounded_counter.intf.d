@@ -1,0 +1,1 @@
+lib/hostpq/bounded_counter.mli:

@@ -1,0 +1,1 @@
+lib/hostpq/elim_stack.ml: Array Atomic Domain List Random

@@ -1,0 +1,1 @@
+lib/hostpq/elim_stack.mli:

@@ -1,0 +1,1 @@
+lib/hostpq/host_intf.ml:

@@ -1,0 +1,1 @@
+lib/hostpq/locked_heap.ml: Array Mutex

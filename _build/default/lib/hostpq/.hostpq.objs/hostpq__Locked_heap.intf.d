@@ -1,0 +1,1 @@
+lib/hostpq/locked_heap.mli: Host_intf

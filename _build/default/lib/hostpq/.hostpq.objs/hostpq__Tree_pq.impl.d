@@ -1,0 +1,1 @@
+lib/hostpq/tree_pq.ml: Array Bounded_counter Elim_stack Printf

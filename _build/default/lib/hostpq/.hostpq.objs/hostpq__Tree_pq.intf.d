@@ -1,0 +1,1 @@
+lib/hostpq/tree_pq.mli: Host_intf

@@ -1,0 +1,45 @@
+let name = "bin-pq"
+
+type 'a bin = { lock : Mutex.t; mutable items : 'a list; size : int Atomic.t }
+type 'a t = { bins : 'a bin array }
+
+let create ~npriorities () =
+  if npriorities <= 0 then invalid_arg "Bin_pq.create";
+  {
+    bins =
+      Array.init npriorities (fun _ ->
+          { lock = Mutex.create (); items = []; size = Atomic.make 0 });
+  }
+
+let insert t ~pri v =
+  if pri < 0 || pri >= Array.length t.bins then invalid_arg "Bin_pq.insert";
+  let b = t.bins.(pri) in
+  Mutex.lock b.lock;
+  b.items <- v :: b.items;
+  Atomic.incr b.size;
+  Mutex.unlock b.lock
+
+let delete_min t =
+  let n = Array.length t.bins in
+  let rec scan i =
+    if i >= n then None
+    else
+      let b = t.bins.(i) in
+      if Atomic.get b.size = 0 then scan (i + 1)
+      else begin
+        Mutex.lock b.lock;
+        match b.items with
+        | v :: rest ->
+            b.items <- rest;
+            Atomic.decr b.size;
+            Mutex.unlock b.lock;
+            Some (i, v)
+        | [] ->
+            Mutex.unlock b.lock;
+            scan (i + 1)
+      end
+  in
+  scan 0
+
+let length t =
+  Array.fold_left (fun acc b -> acc + Atomic.get b.size) 0 t.bins

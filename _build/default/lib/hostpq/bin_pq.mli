@@ -1,0 +1,6 @@
+(** SimpleLinear on real hardware: one mutex-protected bin per priority
+    plus an atomic size word so delete-min's scan tests emptiness with a
+    single load and locks only promising bins.  Linearizable; excellent
+    until the lowest bins become contended. *)
+
+include Host_intf.S

@@ -1,0 +1,33 @@
+type t = { v : int Atomic.t; floor : int option; ceil : int option }
+
+let create ?floor ?ceil init =
+  (match (floor, ceil) with
+  | Some f, Some c when f > c -> invalid_arg "Bounded_counter.create"
+  | _ -> ());
+  { v = Atomic.make init; floor; ceil }
+
+let get t = Atomic.get t.v
+
+let rec bounded t ~stop ~delta =
+  let old = Atomic.get t.v in
+  if stop old then old
+  else if Atomic.compare_and_set t.v old (old + delta) then old
+  else begin
+    Domain.cpu_relax ();
+    bounded t ~stop ~delta
+  end
+
+let inc t =
+  match t.ceil with
+  | None -> Atomic.fetch_and_add t.v 1
+  | Some b -> bounded t ~stop:(fun v -> v >= b) ~delta:1
+
+let dec t =
+  match t.floor with
+  | None -> Atomic.fetch_and_add t.v (-1)
+  | Some b -> bounded t ~stop:(fun v -> v <= b) ~delta:(-1)
+
+let add t d =
+  if t.floor <> None || t.ceil <> None then
+    invalid_arg "Bounded_counter.add: bounded counters need inc/dec";
+  Atomic.fetch_and_add t.v d

@@ -1,0 +1,19 @@
+(** Bounded fetch-and-increment / decrement on a hardware atomic — the
+    host analogue of the paper's Figure 1 counter.  Operations clamp at
+    the configured bounds and always return the pre-operation value, so
+    callers distinguish "applied" from "clamped" by comparing the return
+    value against the bound. *)
+
+type t
+
+val create : ?floor:int -> ?ceil:int -> int -> t
+val get : t -> int
+
+val inc : t -> int
+(** no-op when already at [ceil]; returns the pre-operation value *)
+
+val dec : t -> int
+(** no-op when already at [floor] *)
+
+val add : t -> int -> int
+(** unbounded add; @raise Invalid_argument on a bounded counter *)

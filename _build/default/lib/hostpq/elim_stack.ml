@@ -1,0 +1,70 @@
+type 'a slot = Empty | Parked of 'a | Taken
+
+type 'a t = {
+  top : 'a list Atomic.t;
+  slots : 'a slot Atomic.t array;
+  rng_key : int;
+}
+
+let create ?(slots = 8) () =
+  {
+    top = Atomic.make [];
+    slots = Array.init (max 1 slots) (fun _ -> Atomic.make Empty);
+    rng_key = Random.bits ();
+  }
+
+(* cheap per-domain pseudo-random slot choice; quality is irrelevant *)
+let pick t =
+  let id = (Domain.self () :> int) in
+  let h = (id * 0x9E3779B1) lxor t.rng_key lxor (Random.bits () lsl 7) in
+  (h land max_int) mod Array.length t.slots
+
+let spins = 64
+
+let rec push t v =
+  let cur = Atomic.get t.top in
+  if Atomic.compare_and_set t.top cur (v :: cur) then ()
+  else begin
+    (* park in the elimination array and wait briefly for a pop *)
+    let s = t.slots.(pick t) in
+    if Atomic.compare_and_set s Empty (Parked v) then begin
+      let rec wait i =
+        if Atomic.get s = Taken then Atomic.set s Empty (* consumed *)
+        else if i = 0 then
+          if Atomic.compare_and_set s (Parked v) Empty then push t v
+            (* withdrew unconsumed: retry on the stack *)
+          else Atomic.set s Empty (* a pop took it at the last moment *)
+        else begin
+          Domain.cpu_relax ();
+          wait (i - 1)
+        end
+      in
+      wait spins
+    end
+    else begin
+      Domain.cpu_relax ();
+      push t v
+    end
+  end
+
+let try_steal t =
+  let s = t.slots.(pick t) in
+  match Atomic.get s with
+  | Parked v when Atomic.compare_and_set s (Parked v) Taken -> Some v
+  | Parked _ | Empty | Taken -> None
+
+let rec pop t =
+  match Atomic.get t.top with
+  | [] -> try_steal t (* the stack looks empty; a parked push still counts *)
+  | v :: rest as cur ->
+      if Atomic.compare_and_set t.top cur rest then Some v
+      else begin
+        match try_steal t with
+        | Some _ as r -> r
+        | None ->
+            Domain.cpu_relax ();
+            pop t
+      end
+
+let is_empty t = Atomic.get t.top = []
+let length t = List.length (Atomic.get t.top)

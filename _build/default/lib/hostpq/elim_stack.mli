@@ -1,0 +1,17 @@
+(** Treiber stack with an elimination array, on hardware atomics — the
+    host-side analogue of the paper's funnel stack.
+
+    Push and pop first try a single compare-and-swap on the top pointer;
+    under contention a failing push parks its value in a random slot of
+    the elimination array where a concurrent pop can consume it, so
+    reversing pairs complete without ever agreeing on the top pointer.
+    ABA-safe because the stack spine is an immutable OCaml list. *)
+
+type 'a t
+
+val create : ?slots:int -> unit -> 'a t
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+(** approximate under concurrency *)

@@ -1,0 +1,67 @@
+let name = "tree-pq"
+
+type 'a t = {
+  nleaves : int;
+  npriorities : int;
+  counters : Bounded_counter.t array; (* 1-based internal nodes *)
+  stacks : 'a Elim_stack.t array;
+}
+
+let create ~npriorities () =
+  if npriorities <= 0 then invalid_arg "Tree_pq.create";
+  let rec pow2 n = if n >= npriorities then n else pow2 (2 * n) in
+  let nleaves = pow2 1 in
+  {
+    nleaves;
+    npriorities;
+    counters =
+      Array.init nleaves (fun _ -> Bounded_counter.create ~floor:0 0);
+    stacks = Array.init npriorities (fun _ -> Elim_stack.create ());
+  }
+
+let insert t ~pri v =
+  if pri < 0 || pri >= t.npriorities then invalid_arg "Tree_pq.insert";
+  Elim_stack.push t.stacks.(pri) v;
+  let n = ref (t.nleaves + pri) in
+  while !n > 1 do
+    let parent = !n / 2 in
+    if !n land 1 = 0 then ignore (Bounded_counter.inc t.counters.(parent));
+    n := parent
+  done
+
+let delete_min t =
+  let n = ref 1 in
+  while !n < t.nleaves do
+    let i = Bounded_counter.dec t.counters.(!n) in
+    n := if i > 0 then 2 * !n else (2 * !n) + 1
+  done;
+  let pri = !n - t.nleaves in
+  if pri >= t.npriorities then None
+  else
+    match Elim_stack.pop t.stacks.(pri) with
+    | Some v -> Some (pri, v)
+    | None -> None
+
+let length t =
+  Array.fold_left (fun acc s -> acc + Elim_stack.length s) 0 t.stacks
+
+let check t =
+  let leaf_count pri =
+    if pri < t.npriorities then Elim_stack.length t.stacks.(pri) else 0
+  in
+  let rec subtree n =
+    if n >= t.nleaves then leaf_count (n - t.nleaves)
+    else subtree (2 * n) + subtree ((2 * n) + 1)
+  in
+  let rec go n =
+    if n >= t.nleaves then Ok ()
+    else
+      let c = Bounded_counter.get t.counters.(n) in
+      let expected = subtree (2 * n) in
+      if c <> expected then
+        Error
+          (Printf.sprintf "counter %d holds %d, left subtree has %d" n c
+             expected)
+      else match go (2 * n) with Ok () -> go ((2 * n) + 1) | e -> e
+  in
+  go 1

@@ -1,0 +1,15 @@
+(** The FunnelTree design on real hardware: a binary tree of bounded
+    atomic counters over per-priority elimination stacks.
+
+    Insertion pushes into its priority's stack and walks to the root,
+    fetch-and-incrementing every counter entered from the left; delete-min
+    descends from the root by bounded fetch-and-decrement (left when the
+    counter is positive).  Instead of combining funnels — which need
+    processor identities and spinning — the hardware version relies on
+    elimination stacks at the leaves and bounded CAS counters, preserving
+    the decentralised traffic pattern.  Quiescently consistent. *)
+
+include Host_intf.S
+
+val check : 'a t -> (unit, string) result
+(** at quiescence: every counter equals its left subtree's population *)

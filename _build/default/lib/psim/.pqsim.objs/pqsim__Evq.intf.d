@@ -1,0 +1,1 @@
+lib/psim/evq.mli:

@@ -1,0 +1,1 @@
+lib/psim/mem.ml: Array Hashtbl List Machine

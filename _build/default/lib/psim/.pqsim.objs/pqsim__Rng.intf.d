@@ -1,0 +1,1 @@
+lib/psim/rng.mli:

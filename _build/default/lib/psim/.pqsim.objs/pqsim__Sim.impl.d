@@ -1,0 +1,1 @@
+lib/psim/sim.ml: Array Effect Evq Machine Mem Printf Rng Stats

@@ -1,0 +1,1 @@
+lib/psim/sim.mli: Effect Machine Mem Stats

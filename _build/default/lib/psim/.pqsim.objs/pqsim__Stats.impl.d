@@ -1,0 +1,1 @@
+lib/psim/stats.ml: Array Hashtbl List

@@ -1,0 +1,25 @@
+let read addr = Effect.perform (Sim.Read addr)
+let write addr v = Effect.perform (Sim.Write (addr, v))
+let swap addr v = Effect.perform (Sim.Swap (addr, v))
+
+let cas addr ~expected ~desired =
+  Effect.perform (Sim.Cas (addr, expected, desired))
+
+let faa addr d = Effect.perform (Sim.Faa (addr, d))
+let work n = Effect.perform (Sim.Work n)
+let wait_change addr v = Effect.perform (Sim.Wait_change (addr, v))
+let now () = Effect.perform Sim.Now
+let self () = Effect.perform Sim.Self
+let rand n = Effect.perform (Sim.Rand n)
+let flip () = Effect.perform Sim.Flip
+let record key v = Effect.perform (Sim.Record (key, v))
+
+let await addr ~until =
+  let rec go v = if until v then v else go (wait_change addr v) in
+  go (read addr)
+
+let timed key f =
+  let t0 = now () in
+  let x = f () in
+  record key (now () - t0);
+  x

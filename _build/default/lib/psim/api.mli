@@ -1,0 +1,41 @@
+(** Processor-side view of the machine.
+
+    These functions may only be called from code running inside
+    {!Sim.run}'s [program]; each one performs the corresponding engine
+    effect.  They are the entire instruction set available to algorithm
+    implementations: reads, writes, register-to-memory swap,
+    compare-and-swap and fetch-and-add (the primitives the paper assumes),
+    plus local work, time, processor id, per-processor randomness and
+    latency recording. *)
+
+val read : int -> int
+val write : int -> int -> unit
+
+val swap : int -> int -> int
+(** [swap addr v] atomically stores [v] and returns the old value. *)
+
+val cas : int -> expected:int -> desired:int -> bool
+val faa : int -> int -> int
+
+val work : int -> unit
+(** [work n] spends [n] cycles of local computation. *)
+
+val wait_change : int -> int -> int
+(** [wait_change addr v] blocks until [addr] holds a value other than [v]
+    and returns it; models spinning on a locally cached copy. *)
+
+val await : int -> until:(int -> bool) -> int
+(** [await addr ~until] spins (via {!wait_change}) until [until] holds of
+    the value at [addr], and returns that value. *)
+
+val now : unit -> int
+val self : unit -> int
+
+val rand : int -> int
+(** [rand n] is uniform in [0, n-1] from this processor's private stream. *)
+
+val flip : unit -> bool
+val record : string -> int -> unit
+
+val timed : string -> (unit -> 'a) -> 'a
+(** [timed key f] runs [f] and records its latency in cycles under [key]. *)

@@ -1,0 +1,65 @@
+type event = { time : int; seq : int; run : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0; seq = 0; run = ignore }
+let create () = { heap = Array.make 256 dummy; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let push t ~time run =
+  if t.size = Array.length t.heap then grow t;
+  let e = { time; seq = t.next_seq; run } in
+  t.next_seq <- t.next_seq + 1;
+  (* sift up *)
+  let rec up i =
+    if i = 0 then t.heap.(0) <- e
+    else
+      let parent = (i - 1) / 2 in
+      if before e t.heap.(parent) then begin
+        t.heap.(i) <- t.heap.(parent);
+        up parent
+      end
+      else t.heap.(i) <- e
+  in
+  t.size <- t.size + 1;
+  up (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    let last = t.heap.(t.size) in
+    t.heap.(t.size) <- dummy;
+    if t.size > 0 then begin
+      (* sift down *)
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let smallest = ref i in
+        if l < t.size && before t.heap.(l) last then smallest := l;
+        if
+          r < t.size
+          && before t.heap.(r) (if !smallest = i then last else t.heap.(l))
+        then smallest := r;
+        if !smallest = i then t.heap.(i) <- last
+        else begin
+          t.heap.(i) <- t.heap.(!smallest);
+          down !smallest
+        end
+      in
+      down 0
+    end;
+    Some (top.time, top.run)
+  end

@@ -1,0 +1,18 @@
+(** Event queue for the discrete-event engine.
+
+    A binary min-heap of closures keyed by (time, sequence-number).  The
+    sequence number makes the ordering of same-cycle events deterministic:
+    events scheduled earlier run earlier. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> time:int -> (unit -> unit) -> unit
+(** [push t ~time run] schedules [run] at cycle [time]. *)
+
+val pop : t -> (int * (unit -> unit)) option
+(** [pop t] removes and returns the earliest event, or [None] if empty. *)
+
+val is_empty : t -> bool
+val length : t -> int

@@ -1,0 +1,42 @@
+type t = {
+  nprocs : int;
+  mesh_width : int;
+  mem_modules : int;
+  cache_hit : int;
+  miss_base : int;
+  hop_cost : int;
+  read_occupancy : int;
+  write_occupancy : int;
+  atomic_occupancy : int;
+}
+
+let make ?mem_modules ?(cache_hit = 2) ?(miss_base = 12) ?(hop_cost = 1)
+    ?(read_occupancy = 1) ?(write_occupancy = 4) ?(atomic_occupancy = 6)
+    ~nprocs () =
+  if nprocs <= 0 then invalid_arg "Machine.make: nprocs must be positive";
+  let mem_modules = match mem_modules with Some m -> m | None -> nprocs in
+  let rec width w = if w * w >= nprocs then w else width (w + 1) in
+  {
+    nprocs;
+    mesh_width = width 1;
+    mem_modules;
+    cache_hit;
+    miss_base;
+    hop_cost;
+    read_occupancy;
+    write_occupancy;
+    atomic_occupancy;
+  }
+
+let home_module t line = line mod t.mem_modules
+
+(* Modules are co-located with processors round-robin on the same mesh, so a
+   module index maps to grid coordinates exactly like a processor index. *)
+let coords t i =
+  let i = i mod (t.mesh_width * t.mesh_width) in
+  (i mod t.mesh_width, i / t.mesh_width)
+
+let hops t ~proc ~line =
+  let px, py = coords t proc in
+  let mx, my = coords t (home_module t line) in
+  abs (px - mx) + abs (py - my)

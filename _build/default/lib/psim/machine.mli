@@ -1,0 +1,45 @@
+(** Machine model: topology and cost parameters of the simulated
+    cache-coherent NUMA multiprocessor.
+
+    The model approximates the MIT-Alewife-like machine the paper simulates
+    with Proteus: processors and memory modules laid out on a 2-D mesh, a
+    directory-based coherence protocol, and cycle costs for cache hits,
+    misses, network hops and exclusive occupancy of a cache line while a
+    write or atomic operation is serviced. *)
+
+type t = private {
+  nprocs : int;  (** number of simulated processors *)
+  mesh_width : int;  (** processors sit on a [mesh_width^2] grid *)
+  mem_modules : int;  (** memory modules, distributed round-robin over lines *)
+  cache_hit : int;  (** cycles for a read satisfied by the local cache *)
+  miss_base : int;  (** base cycles for any access that reaches memory *)
+  hop_cost : int;  (** extra cycles per mesh hop to the line's home module *)
+  read_occupancy : int;
+      (** cycles a read miss occupies the line's directory *)
+  write_occupancy : int;  (** cycles a write occupies the line exclusively *)
+  atomic_occupancy : int;
+      (** cycles an atomic (swap/cas/faa) occupies the line exclusively *)
+}
+
+val make :
+  ?mem_modules:int ->
+  ?cache_hit:int ->
+  ?miss_base:int ->
+  ?hop_cost:int ->
+  ?read_occupancy:int ->
+  ?write_occupancy:int ->
+  ?atomic_occupancy:int ->
+  nprocs:int ->
+  unit ->
+  t
+(** [make ~nprocs ()] builds a machine with defaults chosen to resemble the
+    relative costs in the paper's testbed: cheap cache hits, memory accesses
+    an order of magnitude dearer, and atomic operations holding a line a few
+    cycles. *)
+
+val hops : t -> proc:int -> line:int -> int
+(** [hops t ~proc ~line] is the mesh distance between processor [proc] and
+    the home module of cache line [line]. *)
+
+val home_module : t -> int -> int
+(** [home_module t line] is the memory module owning [line]. *)

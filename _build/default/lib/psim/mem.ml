@@ -1,0 +1,159 @@
+type t = {
+  machine : Machine.t;
+  mutable data : int array;
+  mutable version : int array;
+  mutable busy : int array;
+  mutable next_free : int;
+  caches : (int, int) Hashtbl.t array; (* per proc: addr -> version seen *)
+  watchers : (int, (int -> unit) list ref) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable updates : int;
+  mutable queue_wait : int;
+  wait_by_line : (int, int) Hashtbl.t;
+}
+
+let create machine =
+  {
+    machine;
+    data = Array.make 4096 0;
+    version = Array.make 4096 0;
+    busy = Array.make 4096 0;
+    next_free = 1 (* address 0 reserved as null *);
+    caches = Array.init machine.Machine.nprocs (fun _ -> Hashtbl.create 256);
+    watchers = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+    updates = 0;
+    queue_wait = 0;
+    wait_by_line = Hashtbl.create 64;
+  }
+
+let machine t = t.machine
+
+let ensure t n =
+  if n > Array.length t.data then begin
+    let cap = ref (Array.length t.data) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let grow a =
+      let b = Array.make !cap 0 in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    t.data <- grow t.data;
+    t.version <- grow t.version;
+    t.busy <- grow t.busy
+  end
+
+let alloc t n =
+  if n < 0 then invalid_arg "Mem.alloc: negative size";
+  let addr = t.next_free in
+  t.next_free <- addr + n;
+  ensure t t.next_free;
+  addr
+
+let words_allocated t = t.next_free
+
+let peek t addr = t.data.(addr)
+
+let invalidate t addr = t.version.(addr) <- t.version.(addr) + 1
+
+let notify t addr ~change_time =
+  match Hashtbl.find_opt t.watchers addr with
+  | None -> ()
+  | Some waiters ->
+      let ws = !waiters in
+      Hashtbl.remove t.watchers addr;
+      List.iter (fun wake -> wake change_time) (List.rev ws)
+
+let poke t addr v =
+  ensure t (addr + 1);
+  t.data.(addr) <- v;
+  invalidate t addr;
+  notify t addr ~change_time:0
+
+let watch t ~addr ~wake =
+  match Hashtbl.find_opt t.watchers addr with
+  | None -> Hashtbl.add t.watchers addr (ref [ wake ])
+  | Some waiters -> waiters := wake :: !waiters
+
+let miss_latency t ~proc ~addr =
+  let m = t.machine in
+  m.Machine.miss_base + (m.Machine.hop_cost * Machine.hops m ~proc ~line:addr)
+
+(* Begin service of an op needing the line's directory: queue behind any
+   in-flight exclusive service, then occupy it for [occ] cycles.  Returns the
+   time service ends. *)
+let serve t ~now ~addr ~occ =
+  let start = if t.busy.(addr) > now then t.busy.(addr) else now in
+  let waited = start - now in
+  t.queue_wait <- t.queue_wait + waited;
+  if waited > 0 then begin
+    let prev =
+      match Hashtbl.find_opt t.wait_by_line addr with Some w -> w | None -> 0
+    in
+    Hashtbl.replace t.wait_by_line addr (prev + waited)
+  end;
+  t.busy.(addr) <- start + occ;
+  start + occ
+
+let read t ~proc ~now addr =
+  let cache = t.caches.(proc) in
+  match Hashtbl.find_opt cache addr with
+  | Some v when v = t.version.(addr) ->
+      t.hits <- t.hits + 1;
+      (now + t.machine.Machine.cache_hit, t.data.(addr))
+  | _ ->
+      t.misses <- t.misses + 1;
+      let served = serve t ~now ~addr ~occ:t.machine.Machine.read_occupancy in
+      Hashtbl.replace cache addr t.version.(addr);
+      (served + miss_latency t ~proc ~addr, t.data.(addr))
+
+let update t ~proc ~now ~addr ~occ f =
+  t.updates <- t.updates + 1;
+  let served = serve t ~now ~addr ~occ in
+  let old = t.data.(addr) in
+  let v = f old in
+  if v <> old then begin
+    t.data.(addr) <- v;
+    invalidate t addr
+  end;
+  (* even a same-value store serializes and re-triggers spinners' checks *)
+  notify t addr ~change_time:served;
+  Hashtbl.replace t.caches.(proc) addr t.version.(addr);
+  (served + miss_latency t ~proc ~addr, old)
+
+let write t ~proc ~now addr v =
+  ensure t (addr + 1);
+  let completion, _old =
+    update t ~proc ~now ~addr ~occ:t.machine.Machine.write_occupancy (fun _ ->
+        v)
+  in
+  completion
+
+let swap t ~proc ~now addr v =
+  update t ~proc ~now ~addr ~occ:t.machine.Machine.atomic_occupancy (fun _ ->
+      v)
+
+let cas t ~proc ~now addr ~expected ~desired =
+  let completion, old =
+    update t ~proc ~now ~addr ~occ:t.machine.Machine.atomic_occupancy
+      (fun old -> if old = expected then desired else old)
+  in
+  (completion, old = expected)
+
+let faa t ~proc ~now addr delta =
+  update t ~proc ~now ~addr ~occ:t.machine.Machine.atomic_occupancy (fun old ->
+      old + delta)
+
+let hits t = t.hits
+let misses t = t.misses
+let updates t = t.updates
+let queue_wait t = t.queue_wait
+
+let hot_lines t k =
+  Hashtbl.fold (fun addr w acc -> (addr, w) :: acc) t.wait_by_line []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < k)

@@ -1,0 +1,81 @@
+(** Simulated shared memory with a ccNUMA contention and coherence model.
+
+    Memory is a flat, growable array of words addressed by non-negative
+    integers.  Every word is its own cache line.  The model captures the
+    three forces that drive the paper's results:
+
+    - {b hot-spot serialization}: writes and atomic operations occupy a
+      line's home directory exclusively for a few cycles, so concurrent
+      updates of one word queue up (per-line [busy_until]);
+    - {b cheap cached re-reads}: each processor caches (line, version)
+      pairs; reads of an unchanged line cost only [cache_hit] cycles and
+      produce no memory traffic — this is what makes emptiness tests and
+      local spinning cheap;
+    - {b distance}: a miss pays the mesh hop distance between the processor
+      and the line's home module.
+
+    All mutating entry points are meant to be called by the engine while it
+    processes the op's issue event; mutations are applied immediately (per
+    line, issue order equals service order) while the returned completion
+    time tells the engine when to resume the processor. *)
+
+type t
+
+val create : Machine.t -> t
+
+val machine : t -> Machine.t
+
+(** {1 Allocation and raw access (simulation setup / inspection)} *)
+
+val alloc : t -> int -> int
+(** [alloc t n] reserves [n] fresh zero-initialised words and returns the
+    address of the first.  Address 0 is never returned, so 0 can serve as a
+    null pointer. *)
+
+val peek : t -> int -> int
+(** [peek t addr] reads a word without cost accounting (host-side). *)
+
+val poke : t -> int -> int -> unit
+(** [poke t addr v] writes a word without cost accounting (host-side);
+    invalidates cached copies so simulated processors observe it. *)
+
+val words_allocated : t -> int
+
+(** {1 Costed operations (engine only)} *)
+
+val read : t -> proc:int -> now:int -> int -> int * int
+(** [read t ~proc ~now addr] returns [(completion_time, value)]. *)
+
+val write : t -> proc:int -> now:int -> int -> int -> int
+(** [write t ~proc ~now addr v] returns the completion time. *)
+
+val swap : t -> proc:int -> now:int -> int -> int -> int * int
+(** register-to-memory swap; returns [(completion_time, old_value)]. *)
+
+val cas : t -> proc:int -> now:int -> int -> expected:int -> desired:int -> int * bool
+(** compare-and-swap; returns [(completion_time, success)]. *)
+
+val faa : t -> proc:int -> now:int -> int -> int -> int * int
+(** fetch-and-add; returns [(completion_time, old_value)]. *)
+
+(** {1 Spin-wait assist} *)
+
+val watch : t -> addr:int -> wake:(int -> unit) -> unit
+(** [watch t ~addr ~wake] registers [wake]; the next write or atomic update
+    touching [addr] calls [wake change_completion_time] (once; the waiter
+    re-arms if needed).  This models spinning on a cached copy: the spinner
+    causes no traffic until the line is invalidated. *)
+
+(** {1 Traffic counters} *)
+
+val hits : t -> int
+val misses : t -> int
+val updates : t -> int
+(** writes + atomics performed *)
+
+val queue_wait : t -> int
+(** total cycles ops spent queued behind busy lines — a contention measure *)
+
+val hot_lines : t -> int -> (int * int) list
+(** [hot_lines t k]: the [k] addresses with the most accumulated queueing
+    delay, hottest first — a hot-spot profile of the run *)

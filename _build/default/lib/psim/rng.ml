@@ -1,0 +1,26 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let make seed = { state = mix (Int64.of_int seed) }
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t i =
+  let s = next64 t in
+  { state = Int64.add s (mix (Int64.of_int (i + 0x1234567))) }
+
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod n
+
+let bool t = Int64.logand (next64 t) 1L = 1L

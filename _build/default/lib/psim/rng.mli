@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random number generation for the simulator.
+
+    Every simulated processor owns an independent [Rng.t] seeded from the
+    experiment seed and the processor id, so simulation results are
+    reproducible bit-for-bit regardless of host scheduling.  The generator is
+    splitmix64, which is small, fast and has no measurable bias for the sizes
+    used here. *)
+
+type t
+
+val make : int -> t
+(** [make seed] creates a generator from [seed]. *)
+
+val split : t -> int -> t
+(** [split t i] derives an independent generator for stream [i]; used to give
+    each simulated processor its own stream. *)
+
+val next : t -> int
+(** [next t] returns a uniformly distributed non-negative int (62 bits). *)
+
+val int : t -> int -> int
+(** [int t n] returns a uniform value in [0, n-1]. [n] must be positive. *)
+
+val bool : t -> bool
+(** [bool t] is an unbiased coin flip. *)

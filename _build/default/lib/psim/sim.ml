@@ -1,0 +1,141 @@
+type _ Effect.t +=
+  | Read : int -> int Effect.t
+  | Write : (int * int) -> unit Effect.t
+  | Swap : (int * int) -> int Effect.t
+  | Cas : (int * int * int) -> bool Effect.t
+  | Faa : (int * int) -> int Effect.t
+  | Work : int -> unit Effect.t
+  | Wait_change : (int * int) -> int Effect.t
+  | Now : int Effect.t
+  | Self : int Effect.t
+  | Rand : int -> int Effect.t
+  | Flip : bool Effect.t
+  | Record : (string * int) -> unit Effect.t
+
+exception Deadlock of string
+exception Cycle_limit of int
+
+type result = {
+  cycles : int;
+  stats : Stats.t;
+  mem : Mem.t;
+  hits : int;
+  misses : int;
+  updates : int;
+  queue_wait : int;
+}
+
+let run ?machine ?(seed = 1) ?(max_cycles = 2_000_000_000) ~nprocs ~setup
+    ~program () =
+  let machine =
+    match machine with Some m -> m | None -> Machine.make ~nprocs ()
+  in
+  let mem = Mem.create machine in
+  let shared = setup mem in
+  let q = Evq.create () in
+  let stats = Stats.create () in
+  let master = Rng.make seed in
+  let rngs = Array.init nprocs (Rng.split master) in
+  let ptime = Array.make nprocs 0 in
+  let running = ref nprocs in
+  let clock = ref 0 in
+  let handler pid : (unit, unit) Effect.Deep.handler =
+    let open Effect.Deep in
+    let resume_at : type a. int -> (a, unit) continuation -> a -> unit =
+     fun time k v ->
+      Evq.push q ~time (fun () ->
+          ptime.(pid) <- time;
+          continue k v)
+    in
+    let effc : type b. b Effect.t -> ((b, unit) continuation -> unit) option =
+      function
+      | Read addr ->
+          Some
+            (fun k ->
+              let t, v = Mem.read mem ~proc:pid ~now:ptime.(pid) addr in
+              resume_at t k v)
+      | Write (addr, v) ->
+          Some
+            (fun k ->
+              let t = Mem.write mem ~proc:pid ~now:ptime.(pid) addr v in
+              resume_at t k ())
+      | Swap (addr, v) ->
+          Some
+            (fun k ->
+              let t, old = Mem.swap mem ~proc:pid ~now:ptime.(pid) addr v in
+              resume_at t k old)
+      | Cas (addr, expected, desired) ->
+          Some
+            (fun k ->
+              let t, ok =
+                Mem.cas mem ~proc:pid ~now:ptime.(pid) addr ~expected ~desired
+              in
+              resume_at t k ok)
+      | Faa (addr, d) ->
+          Some
+            (fun k ->
+              let t, old = Mem.faa mem ~proc:pid ~now:ptime.(pid) addr d in
+              resume_at t k old)
+      | Work n ->
+          Some
+            (fun k ->
+              if n <= 0 then continue k () else resume_at (ptime.(pid) + n) k ())
+      | Wait_change (addr, v0) ->
+          Some
+            (fun k ->
+              let rec attempt now =
+                let t, _ = Mem.read mem ~proc:pid ~now addr in
+                Evq.push q ~time:t (fun () ->
+                    (* check and (if needed) arm the watcher inside one
+                       event, so no write can slip between them *)
+                    let current = Mem.peek mem addr in
+                    if current <> v0 then begin
+                      ptime.(pid) <- t;
+                      continue k current
+                    end
+                    else
+                      Mem.watch mem ~addr ~wake:(fun change ->
+                          attempt (if change > t then change else t)))
+              in
+              attempt ptime.(pid))
+      | Now -> Some (fun k -> continue k ptime.(pid))
+      | Self -> Some (fun k -> continue k pid)
+      | Rand n -> Some (fun k -> continue k (Rng.int rngs.(pid) n))
+      | Flip -> Some (fun k -> continue k (Rng.bool rngs.(pid)))
+      | Record (key, v) ->
+          Some
+            (fun k ->
+              Stats.record stats key v;
+              continue k ())
+      | _ -> None
+    in
+    { retc = (fun () -> decr running); exnc = raise; effc }
+  in
+  for pid = 0 to nprocs - 1 do
+    Effect.Deep.match_with (fun () -> program shared pid) () (handler pid)
+  done;
+  let rec loop () =
+    if !running > 0 then
+      match Evq.pop q with
+      | None ->
+          raise
+            (Deadlock
+               (Printf.sprintf "%d processors blocked at cycle %d" !running
+                  !clock))
+      | Some (t, fire) ->
+          if t > max_cycles then raise (Cycle_limit t);
+          clock := t;
+          fire ();
+          loop ()
+  in
+  loop ();
+  ( shared,
+    {
+      cycles = !clock;
+      stats;
+      mem;
+      hits = Mem.hits mem;
+      misses = Mem.misses mem;
+      updates = Mem.updates mem;
+      queue_wait = Mem.queue_wait mem;
+    } )

@@ -1,0 +1,57 @@
+(** The discrete-event simulation engine.
+
+    Simulated processors are ordinary OCaml functions whose interactions
+    with the shared machine go through effects: the engine handles each
+    effect by computing its cost against the {!Mem} model and resuming the
+    processor's continuation at the completion cycle.  Within one run all
+    scheduling is deterministic (events ordered by cycle, ties broken by
+    scheduling order; per-processor RNG streams derived from the run seed).
+
+    Processor code must not leak continuations: a processor either runs to
+    completion or blocks forever (which the engine reports as {!Deadlock}
+    once no event remains). *)
+
+type _ Effect.t +=
+  | Read : int -> int Effect.t
+  | Write : (int * int) -> unit Effect.t
+  | Swap : (int * int) -> int Effect.t
+  | Cas : (int * int * int) -> bool Effect.t  (** addr, expected, desired *)
+  | Faa : (int * int) -> int Effect.t
+  | Work : int -> unit Effect.t  (** local computation for n cycles *)
+  | Wait_change : (int * int) -> int Effect.t
+      (** [Wait_change (addr, v)]: block until [mem.(addr) <> v]; returns the
+          observed new value.  Models spinning on a cached copy. *)
+  | Now : int Effect.t
+  | Self : int Effect.t
+  | Rand : int -> int Effect.t
+  | Flip : bool Effect.t
+  | Record : (string * int) -> unit Effect.t
+
+exception Deadlock of string
+(** raised when runnable processors remain but no event is pending *)
+
+exception Cycle_limit of int
+(** raised when simulated time exceeds [max_cycles] *)
+
+type result = {
+  cycles : int;  (** cycle count when the last processor finished *)
+  stats : Stats.t;  (** samples recorded via the [Record] effect *)
+  mem : Mem.t;  (** final memory, for post-run verification *)
+  hits : int;
+  misses : int;
+  updates : int;
+  queue_wait : int;
+}
+
+val run :
+  ?machine:Machine.t ->
+  ?seed:int ->
+  ?max_cycles:int ->
+  nprocs:int ->
+  setup:(Mem.t -> 'a) ->
+  program:('a -> int -> unit) ->
+  unit ->
+  'a * result
+(** [run ~nprocs ~setup ~program ()] allocates shared structures with
+    [setup] (host-side, cycle 0), then runs [program shared pid] on each of
+    the [nprocs] simulated processors until all finish. *)

@@ -1,0 +1,94 @@
+type acc = {
+  mutable n : int;
+  mutable sum : int;
+  mutable min : int;
+  mutable max : int;
+  mutable samples : int array;
+  mutable len : int;
+}
+
+type t = (string, acc) Hashtbl.t
+
+type summary = {
+  key : string;
+  count : int;
+  mean : float;
+  min : int;
+  max : int;
+  p50 : int;
+  p95 : int;
+}
+
+let create () = Hashtbl.create 16
+
+let fresh () =
+  { n = 0; sum = 0; min = max_int; max = min_int; samples = Array.make 64 0; len = 0 }
+
+let record t key v =
+  let acc =
+    match Hashtbl.find_opt t key with
+    | Some a -> a
+    | None ->
+        let a = fresh () in
+        Hashtbl.add t key a;
+        a
+  in
+  acc.n <- acc.n + 1;
+  acc.sum <- acc.sum + v;
+  if v < acc.min then acc.min <- v;
+  if v > acc.max then acc.max <- v;
+  if acc.len = Array.length acc.samples then begin
+    let b = Array.make (2 * acc.len) 0 in
+    Array.blit acc.samples 0 b 0 acc.len;
+    acc.samples <- b
+  end;
+  acc.samples.(acc.len) <- v;
+  acc.len <- acc.len + 1
+
+let count t key =
+  match Hashtbl.find_opt t key with Some a -> a.n | None -> 0
+
+let mean t key =
+  match Hashtbl.find_opt t key with
+  | Some a when a.n > 0 -> float_of_int a.sum /. float_of_int a.n
+  | _ -> 0.0
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let i = int_of_float (p *. float_of_int (n - 1)) in
+    sorted.(i)
+
+let summary t key =
+  match Hashtbl.find_opt t key with
+  | None -> None
+  | Some a when a.n = 0 -> None
+  | Some a ->
+      let sorted = Array.sub a.samples 0 a.len in
+      Array.sort compare sorted;
+      Some
+        {
+          key;
+          count = a.n;
+          mean = float_of_int a.sum /. float_of_int a.n;
+          min = a.min;
+          max = a.max;
+          p50 = percentile sorted 0.5;
+          p95 = percentile sorted 0.95;
+        }
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+
+let merge_mean t ks =
+  let n = ref 0 and sum = ref 0 in
+  let add key =
+    match Hashtbl.find_opt t key with
+    | Some a ->
+        n := !n + a.n;
+        sum := !sum + a.sum
+    | None -> ()
+  in
+  List.iter add ks;
+  if !n = 0 then 0.0 else float_of_int !sum /. float_of_int !n

@@ -1,0 +1,30 @@
+(** Latency statistics collected during a simulation run.
+
+    Processors record samples under string keys (e.g. ["insert"],
+    ["delete_min"], ["access"]); after the run the harness extracts means
+    and distribution summaries per key. *)
+
+type t
+
+type summary = {
+  key : string;
+  count : int;
+  mean : float;
+  min : int;
+  max : int;
+  p50 : int;
+  p95 : int;
+}
+
+val create : unit -> t
+val record : t -> string -> int -> unit
+val count : t -> string -> int
+val mean : t -> string -> float
+(** [mean t key] is 0.0 when no sample was recorded under [key]. *)
+
+val summary : t -> string -> summary option
+val keys : t -> string list
+(** sorted *)
+
+val merge_mean : t -> string list -> float
+(** [merge_mean t keys] is the mean over the union of samples of [keys]. *)

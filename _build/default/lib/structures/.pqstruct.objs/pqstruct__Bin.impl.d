@@ -1,0 +1,1 @@
+lib/structures/bin.ml: Api List Mem Pqsim Pqsync

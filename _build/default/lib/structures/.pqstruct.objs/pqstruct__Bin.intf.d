@@ -1,0 +1,1 @@
+lib/structures/bin.mli: Pqsim

@@ -1,0 +1,1 @@
+lib/structures/counter.ml: Api Mem Pqsim Pqsync

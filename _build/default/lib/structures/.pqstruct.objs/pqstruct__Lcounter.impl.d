@@ -1,0 +1,1 @@
+lib/structures/lcounter.ml: Api Mem Pqsim Pqsync

@@ -1,0 +1,1 @@
+lib/structures/lcounter.mli: Pqsim

@@ -1,0 +1,1 @@
+lib/structures/seqheap.ml: Api List Mem Pqsim

@@ -1,0 +1,1 @@
+lib/structures/seqheap.mli: Pqsim

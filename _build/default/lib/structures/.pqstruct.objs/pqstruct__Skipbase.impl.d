@@ -1,0 +1,1 @@
+lib/structures/skipbase.ml: Api Array Bin List Mem Pqsim Pqsync Printf Result Rng

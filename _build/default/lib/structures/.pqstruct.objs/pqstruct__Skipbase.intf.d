@@ -1,0 +1,1 @@
+lib/structures/skipbase.mli: Bin Pqsim

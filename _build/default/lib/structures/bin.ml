@@ -1,0 +1,41 @@
+open Pqsim
+
+type t = { lock : Pqsync.Mcs.t; size : int; elems : int; cap : int }
+
+let create mem ~nprocs ~cap =
+  let lock = Pqsync.Mcs.create mem ~nprocs in
+  let size = Mem.alloc mem 1 in
+  let elems = Mem.alloc mem cap in
+  { lock; size; elems; cap }
+
+let insert t e =
+  Pqsync.Mcs.acquire t.lock;
+  let sz = Api.read t.size in
+  let ok = sz < t.cap in
+  if ok then begin
+    Api.write (t.elems + sz) e;
+    Api.write t.size (sz + 1)
+  end;
+  Pqsync.Mcs.release t.lock;
+  ok
+
+let is_empty t = Api.read t.size = 0
+
+let delete t =
+  Pqsync.Mcs.acquire t.lock;
+  let sz = Api.read t.size in
+  let r =
+    if sz = 0 then None
+    else begin
+      let e = Api.read (t.elems + sz - 1) in
+      Api.write t.size (sz - 1);
+      Some e
+    end
+  in
+  Pqsync.Mcs.release t.lock;
+  r
+
+let size_now mem t = Mem.peek mem t.size
+
+let drain_now mem t =
+  List.init (Mem.peek mem t.size) (fun i -> Mem.peek mem (t.elems + i))

@@ -1,0 +1,23 @@
+(** The paper's "bin" (Figure 1): a bounded bag of words protected by an
+    MCS lock.  [is_empty] is a single costed read of the size word — the
+    cheap emptiness test the linear-scan queues depend on. *)
+
+type t
+
+val create : Pqsim.Mem.t -> nprocs:int -> cap:int -> t
+
+val insert : t -> int -> bool
+(** [insert b e] adds [e]; false when the bin is full. *)
+
+val is_empty : t -> bool
+(** one read, no lock *)
+
+val delete : t -> int option
+(** removes an unspecified element (LIFO order here, as in the paper's
+    array implementation) *)
+
+val size_now : Pqsim.Mem.t -> t -> int
+(** host-side size, for post-run verification *)
+
+val drain_now : Pqsim.Mem.t -> t -> int list
+(** host-side contents, for post-run verification *)

@@ -1,0 +1,33 @@
+(** Shared counters supporting fetch-and-increment / decrement and their
+    bounded variants (Figure 1 of the paper).
+
+    The unbounded operations map to the machine's fetch-and-add; the
+    bounded ones are compare-and-swap retry loops with randomised backoff —
+    the "hardware" implementation the paper contrasts with combining
+    funnels.  Under contention the retry loop serializes at the counter's
+    cache line, which is exactly the hot-spot behaviour SimpleTree
+    exhibits at its root. *)
+
+type t
+
+val create : Pqsim.Mem.t -> init:int -> t
+val addr : t -> int
+val get : t -> int
+(** costed read *)
+
+val peek : Pqsim.Mem.t -> t -> int
+(** host-side, for verification *)
+
+val fai : t -> int
+(** fetch-and-increment; returns the pre-increment value *)
+
+val fad : t -> int
+(** fetch-and-decrement *)
+
+val bfai : t -> bound:int -> int
+(** [bfai t ~bound] increments only if the current value is below [bound];
+    always returns the pre-operation value (Figure 1 semantics). *)
+
+val bfad : t -> bound:int -> int
+(** [bfad t ~bound] decrements only if the current value is above [bound];
+    always returns the pre-operation value. *)

@@ -1,0 +1,9 @@
+let bits = 24
+let max_payload = 1 lsl bits
+
+let pack ~pri ~payload =
+  if payload < 0 || payload >= max_payload then invalid_arg "Elem.pack";
+  (pri lsl bits) lor payload
+
+let pri e = e lsr bits
+let payload e = e land (max_payload - 1)

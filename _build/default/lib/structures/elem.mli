@@ -1,0 +1,15 @@
+(** Packing of (priority, payload) pairs into single simulated-memory words.
+
+    Heap-based queues keep one word per element ordered primarily by
+    priority; bin-based queues store only the payload (the bin index is the
+    priority).  Packing both into one word keeps element movement a single
+    memory operation, as in the paper's implementations. *)
+
+val max_payload : int
+(** payloads must lie in [0, max_payload) *)
+
+val pack : pri:int -> payload:int -> int
+(** ordered by priority first, then payload *)
+
+val pri : int -> int
+val payload : int -> int

@@ -1,0 +1,25 @@
+open Pqsim
+
+type t = { lock : Pqsync.Mcs.t; value : int }
+
+let create mem ~nprocs ~init =
+  let lock = Pqsync.Mcs.create mem ~nprocs in
+  let value = Mem.alloc mem 1 in
+  Mem.poke mem value init;
+  { lock; value }
+
+let get t = Api.read t.value
+let peek mem t = Mem.peek mem t.value
+
+let apply t f =
+  Pqsync.Mcs.acquire t.lock;
+  let old = Api.read t.value in
+  let v = f old in
+  if v <> old then Api.write t.value v;
+  Pqsync.Mcs.release t.lock;
+  old
+
+let fai t = apply t (fun v -> v + 1)
+let fad t = apply t (fun v -> v - 1)
+let bfai t ~bound = apply t (fun v -> if v >= bound then v else v + 1)
+let bfad t ~bound = apply t (fun v -> if v <= bound then v else v - 1)

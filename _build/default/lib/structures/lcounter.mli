@@ -1,0 +1,15 @@
+(** MCS-lock-protected shared counter.
+
+    The paper's FunnelTree uses these at tree levels below the funnel
+    cut-off, where traffic is low enough that queue-lock serialisation is
+    cheaper than funnel overhead. *)
+
+type t
+
+val create : Pqsim.Mem.t -> nprocs:int -> init:int -> t
+val get : t -> int
+val peek : Pqsim.Mem.t -> t -> int
+val fai : t -> int
+val fad : t -> int
+val bfai : t -> bound:int -> int
+val bfad : t -> bound:int -> int

@@ -1,0 +1,67 @@
+open Pqsim
+
+type t = { size_a : int; data : int; cap : int }
+
+let create mem ~cap =
+  let size_a = Mem.alloc mem 1 in
+  let data = Mem.alloc mem cap in
+  { size_a; data; cap }
+
+let size t = Api.read t.size_a
+let slot t i = t.data + i
+
+let insert t key =
+  let sz = Api.read t.size_a in
+  if sz >= t.cap then false
+  else begin
+    Api.write t.size_a (sz + 1);
+    (* sift up: read parents, shift down until key's slot is found *)
+    let rec up i =
+      if i = 0 then Api.write (slot t 0) key
+      else
+        let p = (i - 1) / 2 in
+        let pv = Api.read (slot t p) in
+        if pv <= key then Api.write (slot t i) key
+        else begin
+          Api.write (slot t i) pv;
+          up p
+        end
+    in
+    up sz;
+    true
+  end
+
+let extract_min t =
+  let sz = Api.read t.size_a in
+  if sz = 0 then None
+  else begin
+    let root = Api.read (slot t 0) in
+    let last = Api.read (slot t (sz - 1)) in
+    Api.write t.size_a (sz - 1);
+    let sz = sz - 1 in
+    if sz > 0 then begin
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        if l >= sz then Api.write (slot t i) last
+        else begin
+          let lv = Api.read (slot t l) in
+          let c, cv =
+            if r < sz then
+              let rv = Api.read (slot t r) in
+              if rv < lv then (r, rv) else (l, lv)
+            else (l, lv)
+          in
+          if cv < last then begin
+            Api.write (slot t i) cv;
+            down c
+          end
+          else Api.write (slot t i) last
+        end
+      in
+      down 0
+    end;
+    Some root
+  end
+
+let peek_list mem t =
+  List.init (Mem.peek mem t.size_a) (fun i -> Mem.peek mem (t.data + i))

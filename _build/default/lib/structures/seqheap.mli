@@ -1,0 +1,20 @@
+(** Array-based binary min-heap living in simulated memory.
+
+    Purely sequential: callers must provide exclusion (the SingleLock queue
+    wraps it in one MCS lock).  Every probe of the array is a costed
+    memory operation, so heap traversal cost scales with depth just as on
+    the simulated machine. *)
+
+type t
+
+val create : Pqsim.Mem.t -> cap:int -> t
+val size : t -> int
+(** costed read *)
+
+val insert : t -> int -> bool
+(** [insert t key] sifts [key] up from the last slot; false when full. *)
+
+val extract_min : t -> int option
+
+val peek_list : Pqsim.Mem.t -> t -> int list
+(** host-side contents (unordered), for verification *)

@@ -1,0 +1,200 @@
+open Pqsim
+
+let nil = -1
+
+type node = {
+  id : int; (* 0 = head, i+1 = priority i *)
+  npri : int; (* priority; -1 for head *)
+  level : int; (* levels this node occupies: fwd.(0 .. level-1) *)
+  lock : Pqsync.Mcs.t;
+  state : int; (* addr: 0 unthreaded / 1 threading / 2 threaded *)
+  fwd : int; (* base addr of [level] forward words holding node ids *)
+  nbin : Bin.t option; (* head has no bin *)
+}
+
+type t = { nodes : node array; head : node; max_level : int }
+
+let fully_threaded = 2
+
+let create mem ~nprocs ~npriorities ~bin_cap ~seed =
+  let rec levels_for n acc = if n <= 1 then acc else levels_for (n / 2) (acc + 1) in
+  let max_level = max 2 (levels_for npriorities 1) in
+  let rng = Rng.make (seed lxor 0x5caff01d) in
+  let mk_node ~id ~npri ~level ~with_bin =
+    let lock = Pqsync.Mcs.create mem ~nprocs in
+    let state = Mem.alloc mem 1 in
+    let fwd = Mem.alloc mem level in
+    for l = 0 to level - 1 do
+      Mem.poke mem (fwd + l) nil
+    done;
+    let nbin =
+      if with_bin then Some (Bin.create mem ~nprocs ~cap:bin_cap) else None
+    in
+    { id; npri; level; lock; state; fwd; nbin }
+  in
+  let head = mk_node ~id:0 ~npri:(-1) ~level:max_level ~with_bin:false in
+  Mem.poke mem head.state fully_threaded;
+  let nodes = Array.make (npriorities + 1) head in
+  for i = 0 to npriorities - 1 do
+    (* geometric level, fixed per pre-allocated node *)
+    let rec pick l =
+      if l >= max_level then max_level else if Rng.bool rng then pick (l + 1) else l
+    in
+    nodes.(i + 1) <- mk_node ~id:(i + 1) ~npri:i ~level:(pick 1) ~with_bin:true
+  done;
+  { nodes; head; max_level }
+
+let node_of_pri t p = t.nodes.(p + 1)
+
+let bin n =
+  match n.nbin with
+  | Some b -> b
+  | None -> invalid_arg "Skipbase.bin: head node"
+
+let pri n = n.npri
+
+(* Walk level [l] starting from [from]: the returned node is the last one
+   whose priority is below [p].  Node priorities are host constants; only
+   forward pointers cost memory accesses. *)
+let find_pred t ~from ~l ~p =
+  let rec walk cur =
+    let s = Api.read (cur.fwd + l) in
+    if s <> nil && t.nodes.(s).npri < p then walk t.nodes.(s) else cur
+  in
+  walk from
+
+let link_level t node l =
+  let rec attempt () =
+    (* descend from the top to approach the predecessor cheaply, then take
+       its lock and re-validate *)
+    let rec descend lvl from =
+      let pred = find_pred t ~from ~l:lvl ~p:node.npri in
+      if lvl = l then pred else descend (lvl - 1) pred
+    in
+    let pred = descend (t.max_level - 1) t.head in
+    Pqsync.Mcs.acquire pred.lock;
+    let valid_pred =
+      pred.id = 0 || Api.read pred.state = fully_threaded
+    in
+    if not valid_pred then begin
+      Pqsync.Mcs.release pred.lock;
+      attempt ()
+    end
+    else begin
+      let succ = Api.read (pred.fwd + l) in
+      if succ <> nil && t.nodes.(succ).npri < node.npri then begin
+        (* someone linked a closer predecessor meanwhile *)
+        Pqsync.Mcs.release pred.lock;
+        attempt ()
+      end
+      else begin
+        Api.write (node.fwd + l) succ;
+        Api.write (pred.fwd + l) node.id;
+        Pqsync.Mcs.release pred.lock
+      end
+    end
+  in
+  attempt ()
+
+let ensure_threaded t p =
+  let node = node_of_pri t p in
+  if Api.read node.state = 0 && Api.cas node.state ~expected:0 ~desired:1
+  then begin
+    for l = 0 to node.level - 1 do
+      link_level t node l
+    done;
+    Api.write node.state fully_threaded
+  end
+
+let first t =
+  let s = Api.read (t.head.fwd + 0) in
+  if s = nil then None else Some t.nodes.(s)
+
+let next t n =
+  let s = Api.read (n.fwd + 0) in
+  if s = nil then None else Some t.nodes.(s)
+
+let unthread_first t =
+  Pqsync.Mcs.acquire t.head.lock;
+  let s = Api.read (t.head.fwd + 0) in
+  if s = nil then begin
+    Pqsync.Mcs.release t.head.lock;
+    None
+  end
+  else begin
+    let node = t.nodes.(s) in
+    Pqsync.Mcs.acquire node.lock;
+    if Api.read node.state <> fully_threaded then begin
+      (* threading still in flight; let it finish *)
+      Pqsync.Mcs.release node.lock;
+      Pqsync.Mcs.release t.head.lock;
+      None
+    end
+    else begin
+      (* the minimum node's predecessor at each of its levels is the head *)
+      for l = node.level - 1 downto 0 do
+        if Api.read (t.head.fwd + l) = node.id then
+          Api.write (t.head.fwd + l) (Api.read (node.fwd + l))
+      done;
+      Api.write node.state 0;
+      Pqsync.Mcs.release node.lock;
+      Pqsync.Mcs.release t.head.lock;
+      Some node
+    end
+  end
+
+let threaded_now mem n = Mem.peek mem n.state = fully_threaded
+
+let invariants_now mem t =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  let level_list l =
+    let rec walk acc id =
+      if id = nil then List.rev acc
+      else
+        let n = t.nodes.(id) in
+        walk (n :: acc) (Mem.peek mem (n.fwd + l))
+    in
+    walk [] (Mem.peek mem (t.head.fwd + l))
+  in
+  let check_sorted l =
+    let rec go = function
+      | a :: (b :: _ as rest) ->
+          if a.npri >= b.npri then
+            Error (Printf.sprintf "level %d not sorted at pri %d" l a.npri)
+          else go rest
+      | _ -> Ok ()
+    in
+    go (level_list l)
+  in
+  let rec all_sorted l =
+    if l >= t.max_level then Ok ()
+    else
+      let* () = check_sorted l in
+      all_sorted (l + 1)
+  in
+  let* () = all_sorted 0 in
+  (* membership at level l implies membership at every lower level, and
+     every level-0 member is fully threaded *)
+  let member l id = List.exists (fun n -> n.id = id) (level_list l) in
+  let check_node n =
+    if n.id = 0 then Ok ()
+    else
+      let in0 = member 0 n.id in
+      let st = Mem.peek mem n.state in
+      if in0 && st <> fully_threaded then
+        Error (Printf.sprintf "pri %d linked but state=%d" n.npri st)
+      else
+        let rec levels l =
+          if l >= n.level then Ok ()
+          else if member l n.id && not in0 then
+            Error (Printf.sprintf "pri %d at level %d but not level 0" n.npri l)
+          else levels (l + 1)
+        in
+        levels 1
+  in
+  Array.fold_left
+    (fun acc n ->
+      let* () = acc in
+      check_node n)
+    (Ok ()) t.nodes
+  |> Result.map_error (fun e -> e)

@@ -1,0 +1,1 @@
+lib/sync/barrier.ml: Api Mem Pqsim

@@ -1,0 +1,1 @@
+lib/sync/mcs.ml: Api Mem Pqsim

@@ -1,0 +1,1 @@
+lib/sync/tas.ml: Api Backoff Mem Pqsim

@@ -1,0 +1,12 @@
+type t = { init : int; limit : int; mutable window : int }
+
+let make ?(init = 4) ?(max = 512) () =
+  if init <= 0 || max < init then invalid_arg "Backoff.make";
+  { init; limit = max; window = init }
+
+let once t =
+  Pqsim.Api.work (1 + Pqsim.Api.rand t.window);
+  let doubled = 2 * t.window in
+  t.window <- (if doubled > t.limit then t.limit else doubled)
+
+let reset t = t.window <- t.init

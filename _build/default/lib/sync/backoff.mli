@@ -1,0 +1,14 @@
+(** Randomised exponential backoff for retry loops on the simulated
+    machine.  Processor-local: create one per operation attempt. *)
+
+type t
+
+val make : ?init:int -> ?max:int -> unit -> t
+(** [make ()] starts with a window of [init] cycles (default 4) doubling up
+    to [max] (default 512). *)
+
+val once : t -> unit
+(** [once t] spins locally for a random duration within the current window
+    and widens the window. *)
+
+val reset : t -> unit

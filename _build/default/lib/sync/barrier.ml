@@ -1,0 +1,14 @@
+open Pqsim
+
+type t = { count : int; sense : int; nprocs : int }
+
+let create mem ~nprocs =
+  { count = Mem.alloc mem 1; sense = Mem.alloc mem 1; nprocs }
+
+let wait t =
+  let s = Api.read t.sense in
+  if Api.faa t.count 1 = t.nprocs - 1 then begin
+    Api.write t.count 0;
+    Api.write t.sense (1 - s)
+  end
+  else ignore (Api.await t.sense ~until:(fun v -> v <> s))

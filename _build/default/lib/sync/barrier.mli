@@ -1,0 +1,10 @@
+(** Sense-reversing centralized barrier over simulated memory.  Used by
+    benchmark drivers and tests to create quiescent points between
+    workload phases. *)
+
+type t
+
+val create : Pqsim.Mem.t -> nprocs:int -> t
+
+val wait : t -> unit
+(** blocks until all [nprocs] processors have arrived *)

@@ -1,0 +1,41 @@
+open Pqsim
+
+(* Layout: [tail][node_0 locked][node_0 next][node_1 locked][node_1 next]...
+   A node address identifies the waiter; tail = 0 means free. *)
+
+type t = { tail : int; nodes : int }
+
+let words ~nprocs = 1 + (2 * nprocs)
+
+let create mem ~nprocs =
+  let tail = Mem.alloc mem (words ~nprocs) in
+  { tail; nodes = tail + 1 }
+
+let node t pid = t.nodes + (2 * pid)
+let locked_of node = node
+let next_of node = node + 1
+
+let acquire t =
+  let me = node t (Api.self ()) in
+  Api.write (next_of me) 0;
+  Api.write (locked_of me) 1;
+  let pred = Api.swap t.tail me in
+  if pred <> 0 then begin
+    Api.write (next_of pred) me;
+    ignore (Api.await (locked_of me) ~until:(fun v -> v = 0))
+  end
+
+let try_acquire t =
+  let me = node t (Api.self ()) in
+  Api.write (next_of me) 0;
+  Api.cas t.tail ~expected:0 ~desired:me
+
+let release t =
+  let me = node t (Api.self ()) in
+  let succ = Api.read (next_of me) in
+  if succ <> 0 then Api.write (locked_of succ) 0
+  else if not (Api.cas t.tail ~expected:me ~desired:0) then begin
+    (* a successor is in the middle of linking itself in *)
+    let succ = Api.await (next_of me) ~until:(fun v -> v <> 0) in
+    Api.write (locked_of succ) 0
+  end

@@ -1,0 +1,24 @@
+(** MCS list-based queue lock (Mellor-Crummey & Scott 1991) over simulated
+    memory — the lock the paper uses for its "bins" and baseline queues.
+
+    Each acquiring processor appends a queue node with a register-to-memory
+    swap on the tail word and then spins on a flag in its {e own} node, so
+    under contention each waiter spins on a distinct cache line and lock
+    hand-off causes a single remote write.  One queue node per processor is
+    pre-allocated per lock at creation. *)
+
+type t
+
+val create : Pqsim.Mem.t -> nprocs:int -> t
+
+val acquire : t -> unit
+(** must be called from processor context; the caller's node is selected by
+    its processor id *)
+
+val try_acquire : t -> bool
+(** succeeds only if the lock queue is empty (single CAS on the tail) *)
+
+val release : t -> unit
+
+val words : nprocs:int -> int
+(** simulated words a lock occupies, for memory accounting *)

@@ -1,0 +1,22 @@
+open Pqsim
+
+type t = int (* address of the lock word: 0 free, 1 held *)
+
+let create mem = Mem.alloc mem 1
+
+let try_acquire t = Api.cas t ~expected:0 ~desired:1
+
+let acquire t =
+  let b = Backoff.make () in
+  let rec go () =
+    if not (try_acquire t) then begin
+      (* test loop on the cached copy until the lock looks free *)
+      ignore (Api.await t ~until:(fun v -> v = 0));
+      Backoff.once b;
+      go ()
+    end
+  in
+  go ()
+
+let release t = Api.write t 0
+let held t = Api.read t = 1

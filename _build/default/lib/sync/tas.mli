@@ -1,0 +1,16 @@
+(** Test-and-test-and-set spin lock with backoff, over simulated memory.
+
+    Used as a cheap baseline lock and inside structures where queueing
+    behaviour is not wanted.  Spinning is on a cached copy (via the
+    engine's [Wait_change]), so waiting generates no memory traffic. *)
+
+type t
+
+val create : Pqsim.Mem.t -> t
+val acquire : t -> unit
+val try_acquire : t -> bool
+(** non-blocking; true on success *)
+
+val release : t -> unit
+val held : t -> bool
+(** costed read of the lock word; mostly for assertions in tests *)

@@ -1,0 +1,1 @@
+lib/workload/counterbench.ml: Api Pqfunnel Pqsim Sim Stats

@@ -1,0 +1,1 @@
+lib/workload/figures.ml: Counterbench Fun List Pqcore Pqcounters Pqsim Printf Table Workload

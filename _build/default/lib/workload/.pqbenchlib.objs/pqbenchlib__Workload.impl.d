@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Api Array List Mem Pqcore Pqfunnel Pqsim Pqsync Printf Sim Stats

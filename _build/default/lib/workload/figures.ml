@@ -1,0 +1,463 @@
+type scale = { ops : int; max_procs : int }
+
+let quick = { ops = 15; max_procs = 64 }
+let full = { ops = 40; max_procs = 256 }
+
+let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
+
+let queue_series scale ~queues ~npriorities ~procs ?(tweak = Fun.id) () =
+  List.map
+    (fun queue ->
+      {
+        Table.label = queue;
+        points =
+          List.filter_map
+            (fun nprocs ->
+              if nprocs > scale.max_procs then None
+              else begin
+                progress "[bench] %s N=%d P=%d" queue npriorities nprocs;
+                let s = tweak (Workload.spec ~queue ~nprocs ~npriorities) in
+                let r = Workload.run ~ops_per_proc:scale.ops s in
+                Some (nprocs, r.latency_all)
+              end)
+            procs;
+      })
+    queues
+
+(* ------------------------------------------------------------------ *)
+
+let fig5_procs = [ 4; 8; 16; 32; 64; 128; 256 ]
+
+let fig5_left scale =
+  let series ~label ~mode =
+    {
+      Table.label;
+      points =
+        List.filter_map
+          (fun p ->
+            if p > scale.max_procs then None
+            else begin
+              progress "[bench] fig5L %s P=%d" label p;
+              Some
+                ( p,
+                  Counterbench.run ~mode ~nprocs:p ~dec_percent:50
+                    ~ops_per_proc:scale.ops () )
+            end)
+          fig5_procs;
+    }
+  in
+  let data =
+    [
+      series ~label:"Fetch-and-add" ~mode:Counterbench.Faa;
+      series ~label:"BFaD+elim"
+        ~mode:(Counterbench.Bounded { elim = true });
+      series ~label:"BFaD-noelim"
+        ~mode:(Counterbench.Bounded { elim = false });
+    ]
+  in
+  Table.print
+    ~title:
+      "Figure 5 (left): funnel counter latency, 50/50 inc/dec (cycles/op)"
+    ~xlabel:"P" data;
+  data
+
+let fig5_right scale =
+  let p = min 256 scale.max_procs in
+  let percents = [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ] in
+  let series ~label ~mode =
+    {
+      Table.label;
+      points =
+        List.map
+          (fun pc ->
+            progress "[bench] fig5R %s dec%%=%d" label pc;
+            ( pc,
+              Counterbench.run ~mode ~nprocs:p ~dec_percent:pc
+                ~ops_per_proc:scale.ops () ))
+          percents;
+    }
+  in
+  let data =
+    [
+      series ~label:"Fetch-and-add" ~mode:Counterbench.Faa;
+      series ~label:"BFaD+elim" ~mode:(Counterbench.Bounded { elim = true });
+    ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Figure 5 (right): funnel counter latency at %d processors \
+          (cycles/op)"
+         p)
+    ~xlabel:"%dec" data;
+  data
+
+let fig6 scale =
+  let data =
+    queue_series scale ~queues:Pqcore.Registry.names_paper ~npriorities:16
+      ~procs:[ 2; 4; 6; 8; 10; 12; 14; 16 ] ()
+  in
+  Table.print
+    ~title:
+      "Figure 6: all queues, 16 priorities, low concurrency (cycles/access)"
+    ~xlabel:"P" data;
+  data
+
+let fig7 scale =
+  let data =
+    queue_series scale ~queues:Pqcore.Registry.scalable_names ~npriorities:16
+      ~procs:[ 2; 4; 8; 16; 32; 64; 128; 256 ] ()
+  in
+  Table.print
+    ~title:
+      "Figure 7: scalable queues, 16 priorities, high concurrency \
+       (cycles/access)"
+    ~xlabel:"P" data;
+  data
+
+let fig8 scale =
+  let configs =
+    [ (16, 16); (16, 128); (64, 16); (64, 128); (256, 16); (256, 128) ]
+    |> List.filter (fun (p, _) -> p <= scale.max_procs)
+  in
+  let k v = Printf.sprintf "%.1f" (v /. 1000.) in
+  let rows =
+    List.map
+      (fun (p, n) ->
+        let cells =
+          List.concat_map
+            (fun queue ->
+              progress "[bench] fig8 %s N=%d P=%d" queue n p;
+              let r =
+                Workload.run ~ops_per_proc:scale.ops
+                  (Workload.spec ~queue ~nprocs:p ~npriorities:n)
+              in
+              [ k r.latency_insert; k r.latency_delete; k r.latency_all ])
+            Pqcore.Registry.scalable_names
+        in
+        (string_of_int p :: string_of_int n :: cells))
+      configs
+  in
+  let header =
+    [ "P"; "N" ]
+    @ List.concat_map
+        (fun q -> [ q ^ ":Ins"; "Del"; "All" ])
+        Pqcore.Registry.scalable_names
+  in
+  Table.print_rows
+    ~title:
+      "Figure 8: insert / delete-min latency break-down (thousands of \
+       cycles)"
+    ~header rows;
+  rows
+
+let fig9 scale ~nprocs ~queues ~title =
+  let priorities = [ 2; 4; 8; 16; 32; 64; 128; 256; 512 ] in
+  let data =
+    List.map
+      (fun queue ->
+        {
+          Table.label = queue;
+          points =
+            List.map
+              (fun n ->
+                progress "[bench] fig9 %s N=%d P=%d" queue n nprocs;
+                let r =
+                  Workload.run ~ops_per_proc:scale.ops
+                    (Workload.spec ~queue ~nprocs ~npriorities:n)
+                in
+                (n, r.latency_all))
+              priorities;
+        })
+      queues
+  in
+  Table.print ~title ~xlabel:"N" data;
+  data
+
+let fig9_left scale =
+  let nprocs = min 64 scale.max_procs in
+  fig9 scale ~nprocs ~queues:Pqcore.Registry.scalable_names
+    ~title:
+      (Printf.sprintf
+         "Figure 9 (left): latency vs priority range at %d processors \
+          (cycles/access)"
+         nprocs)
+
+let fig9_right scale =
+  let nprocs = min 256 scale.max_procs in
+  fig9 scale ~nprocs
+    ~queues:[ "SimpleLinear"; "LinearFunnels"; "FunnelTree"; "SimpleTree" ]
+    ~title:
+      (Printf.sprintf
+         "Figure 9 (right): latency vs priority range at %d processors \
+          (cycles/access; paper omits SimpleTree here)"
+         nprocs)
+
+(* ------------------------------------------------------------------ *)
+(* ablations *)
+
+let sweep = [ 4; 16; 64; 128; 256 ]
+
+let ablation_cutoff scale =
+  let data =
+    List.map
+      (fun cutoff ->
+        {
+          Table.label = Printf.sprintf "cutoff=%d" cutoff;
+          points =
+            List.filter_map
+              (fun p ->
+                if p > scale.max_procs then None
+                else begin
+                  progress "[bench] cutoff=%d P=%d" cutoff p;
+                  let s =
+                    {
+                      (Workload.spec ~queue:"FunnelTree" ~nprocs:p
+                         ~npriorities:64)
+                      with
+                      cutoff;
+                    }
+                  in
+                  Some (p, (Workload.run ~ops_per_proc:scale.ops s).latency_all)
+                end)
+              sweep;
+        })
+      [ 0; 2; 4; 99 ]
+  in
+  Table.print
+    ~title:
+      "Ablation: FunnelTree funnel/MCS cut-off depth, 64 priorities \
+       (cycles/access; cutoff=0 means MCS-locked counters everywhere, 99 \
+       funnels everywhere)"
+    ~xlabel:"P" data;
+  data
+
+let ablation_precheck scale =
+  let data =
+    queue_series scale
+      ~queues:[ "LinearFunnels"; "LinearFunnelsNoCheck" ]
+      ~npriorities:16 ~procs:sweep ()
+  in
+  Table.print
+    ~title:
+      "Ablation: LinearFunnels delete-min emptiness pre-check \
+       (cycles/access)"
+    ~xlabel:"P" data;
+  data
+
+let ablation_adaption scale =
+  let variant label adaptive =
+    {
+      Table.label;
+      points =
+        List.filter_map
+          (fun p ->
+            if p > scale.max_procs then None
+            else begin
+              progress "[bench] adaption=%s P=%d" label p;
+              let s =
+                {
+                  (Workload.spec ~queue:"FunnelTree" ~nprocs:p ~npriorities:16)
+                  with
+                  adaptive;
+                }
+              in
+              Some (p, (Workload.run ~ops_per_proc:scale.ops s).latency_all)
+            end)
+          sweep;
+    }
+  in
+  let data = [ variant "adaptive" true; variant "fixed-width" false ] in
+  Table.print
+    ~title:"Ablation: funnel layer-width adaption (FunnelTree, 16 priorities)"
+    ~xlabel:"P" data;
+  data
+
+let counter_shootout scale =
+  let makers =
+    [
+      ("cas", fun mem ~nprocs -> ignore nprocs; Pqcounters.Adapters.cas mem);
+      ("mcs", Pqcounters.Adapters.mcs);
+      ( "combtree",
+        fun mem ~nprocs -> Pqcounters.Combtree.create mem ~nprocs () );
+      ("dtree", fun mem ~nprocs -> Pqcounters.Dtree.create mem ~nprocs ());
+      ( "bitonic8",
+        fun mem ~nprocs ->
+          ignore nprocs;
+          Pqcounters.Bitonic.create mem ~width:8 );
+      ("reactive", fun mem ~nprocs -> Pqcounters.Reactive.create mem ~nprocs ());
+      ("funnel", Pqcounters.Adapters.funnel);
+    ]
+  in
+  let latency maker nprocs =
+    let _, r =
+      Pqsim.Sim.run ~nprocs ~seed:11
+        ~setup:(fun mem -> maker mem ~nprocs)
+        ~program:(fun c _ ->
+          for _ = 1 to scale.ops do
+            Pqsim.Api.work 10;
+            Pqsim.Api.timed "op" (fun () ->
+                ignore (c.Pqcounters.Ctr_intf.inc ()))
+          done)
+        ()
+    in
+    Pqsim.Stats.mean r.Pqsim.Sim.stats "op"
+  in
+  let data =
+    List.map
+      (fun (label, maker) ->
+        {
+          Table.label;
+          points =
+            List.filter_map
+              (fun p ->
+                if p > scale.max_procs then None
+                else begin
+                  progress "[bench] counters %s P=%d" label p;
+                  Some (p, latency maker p)
+                end)
+              [ 2; 4; 8; 16; 32; 64; 128; 256 ];
+        })
+      makers
+  in
+  Table.print
+    ~title:
+      "Counter shootout (Sec. 1/3.1 context): fetch-and-increment latency \
+       across implementations (cycles/op)"
+    ~xlabel:"P" data;
+  data
+
+let mix scale =
+  (* Figure 5 (right) varies the op mix for raw counters; this extension
+     does the same for whole queues.  Elimination and combining feed on
+     balanced traffic, so the funnel queues should peak at 50/50 while
+     the lock-based baseline is indifferent to the mix. *)
+  let nprocs = min 128 scale.max_procs in
+  let biases = [ 10; 30; 50; 70; 90 ] in
+  let data =
+    List.map
+      (fun queue ->
+        {
+          Table.label = queue;
+          points =
+            List.map
+              (fun insert_bias ->
+                progress "[bench] mix %s ins%%=%d" queue insert_bias;
+                let s =
+                  {
+                    (Workload.spec ~queue ~nprocs ~npriorities:16) with
+                    insert_bias;
+                    (* keep the queue from draining dry or exploding *)
+                    prefill = 256;
+                  }
+                in
+                ( insert_bias,
+                  (Workload.run ~ops_per_proc:scale.ops s).latency_delete ))
+              biases;
+        })
+      [ "SimpleLinear"; "SimpleTree"; "FunnelTree" ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Workload mix (extension): delete-min latency at %d processors vs \
+          %% of accesses that insert (cycles/delete)"
+         nprocs)
+    ~xlabel:"%ins" data;
+  data
+
+let queue_depth scale =
+  (* The paper's benchmark keeps queues nearly empty (50/50 mix from an
+     empty queue).  This extension pre-fills the queue behind a barrier
+     and measures the same mix on a deep queue. *)
+  let nprocs = min 64 scale.max_procs in
+  let depths = [ 0; 128; 512; 2048 ] in
+  let data =
+    List.map
+      (fun queue ->
+        {
+          Table.label = queue;
+          points =
+            List.map
+              (fun prefill ->
+                progress "[bench] depth %s prefill=%d" queue prefill;
+                let s =
+                  {
+                    (Workload.spec ~queue ~nprocs ~npriorities:16) with
+                    prefill;
+                  }
+                in
+                (prefill, (Workload.run ~ops_per_proc:scale.ops s).latency_all))
+              depths;
+        })
+      Pqcore.Registry.scalable_names
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Queue depth (extension): latency at %d processors with a \
+          pre-filled queue (cycles/access)"
+         nprocs)
+    ~xlabel:"depth" data;
+  data
+
+let sensitivity scale =
+  (* The headline comparison (Fig. 7 at peak concurrency) re-run under
+     perturbed machine cost models: the claim should survive a slower
+     network, dearer misses and longer atomic occupancy. *)
+  let p = min 256 scale.max_procs in
+  let machines =
+    [
+      ("baseline", Pqsim.Machine.make ~nprocs:p ());
+      ("slow-network", Pqsim.Machine.make ~nprocs:p ~hop_cost:4 ());
+      ("dear-misses", Pqsim.Machine.make ~nprocs:p ~miss_base:40 ());
+      ( "long-atomics",
+        Pqsim.Machine.make ~nprocs:p ~atomic_occupancy:16 ~write_occupancy:10
+          () );
+      ( "uniform-memory",
+        Pqsim.Machine.make ~nprocs:p ~hop_cost:0 ~mem_modules:1 () );
+    ]
+  in
+  let queues = [ "SimpleLinear"; "SimpleTree"; "FunnelTree" ] in
+  let rows =
+    List.map
+      (fun (mname, machine) ->
+        mname
+        :: List.map
+             (fun queue ->
+               progress "[bench] sensitivity %s %s" mname queue;
+               let s =
+                 {
+                   (Workload.spec ~queue ~nprocs:p ~npriorities:16) with
+                   machine = Some machine;
+                 }
+               in
+               Printf.sprintf "%.0f"
+                 (Workload.run ~ops_per_proc:scale.ops s).latency_all)
+             queues)
+      machines
+  in
+  Table.print_rows
+    ~title:
+      (Printf.sprintf
+         "Sensitivity: latency at %d processors under perturbed machine \
+          models (cycles/access)"
+         p)
+    ~header:("machine" :: queues) rows;
+  rows
+
+let run_all scale =
+  ignore (fig5_left scale);
+  ignore (fig5_right scale);
+  ignore (fig6 scale);
+  ignore (fig7 scale);
+  ignore (fig8 scale);
+  ignore (fig9_left scale);
+  ignore (fig9_right scale);
+  ignore (ablation_cutoff scale);
+  ignore (ablation_precheck scale);
+  ignore (ablation_adaption scale);
+  ignore (counter_shootout scale);
+  ignore (queue_depth scale);
+  ignore (mix scale);
+  ignore (sensitivity scale)

@@ -1,0 +1,76 @@
+(** One entry point per figure and table in the paper's evaluation
+    (Section 4), plus the ablations called out in DESIGN.md.  Each
+    function runs the simulations, prints an aligned text table with the
+    same rows/series as the paper's artifact, and returns the data.
+
+    Absolute cycle counts differ from the paper's Proteus testbed; the
+    claims to check are comparative (who wins, by what factor, where the
+    crossovers fall) and are summarised in EXPERIMENTS.md. *)
+
+type scale = {
+  ops : int;  (** queue accesses per processor *)
+  max_procs : int;  (** skip sweep points above this concurrency *)
+}
+
+val quick : scale
+(** small runs for CI: up to 64 processors *)
+
+val full : scale
+(** the paper's range: up to 256 processors *)
+
+val fig5_left : scale -> Table.series list
+(** funnel fetch-and-add vs bounded-decrement-with-elimination latency,
+    50/50 mix, concurrency sweep (also carries the no-elimination
+    ablation series) *)
+
+val fig5_right : scale -> Table.series list
+(** same comparison at peak concurrency, sweeping the decrement share *)
+
+val fig6 : scale -> Table.series list
+(** all seven queues, 16 priorities, 2-16 processors *)
+
+val fig7 : scale -> Table.series list
+(** the four scalable queues, 16 priorities, 2-256 processors *)
+
+val fig8 : scale -> string list list
+(** insert / delete-min / all latency breakdown (thousands of cycles) for
+    N ∈ 16,128 and P ∈ 16,64,256 *)
+
+val fig9_left : scale -> Table.series list
+(** latency vs priority range 2-512 at 64 processors *)
+
+val fig9_right : scale -> Table.series list
+(** latency vs priority range 2-512 at 256 processors (SimpleTree is
+    reported even though the paper leaves it off the graph) *)
+
+val ablation_cutoff : scale -> Table.series list
+(** FunnelTree funnel/MCS cut-off depth *)
+
+val ablation_precheck : scale -> Table.series list
+(** LinearFunnels with and without the single-read emptiness test *)
+
+val ablation_adaption : scale -> Table.series list
+(** funnel layer-width adaption on vs off (FunnelTree) *)
+
+val counter_shootout : scale -> Table.series list
+(** fetch-and-increment latency across every counter substrate in the
+    repository: CAS loop, MCS lock, software combining tree, diffracting
+    tree, bitonic counting network and combining funnel — the comparison
+    behind the paper's Section 1/3.1 positioning *)
+
+val mix : scale -> Table.series list
+(** latency vs the insert share of the access mix — elimination and
+    combining feed on balanced traffic *)
+
+val queue_depth : scale -> Table.series list
+(** the same 50/50 workload on a queue pre-filled behind a barrier —
+    deep-queue behaviour the paper's empty-start benchmark never probes *)
+
+val sensitivity : scale -> string list list
+(** the headline comparison re-run under perturbed machine cost models
+    (slower network, dearer misses, longer atomic occupancy, uniform
+    memory): checks the reproduction's shape is not an artifact of one
+    set of constants *)
+
+val run_all : scale -> unit
+(** print every figure, table and ablation *)

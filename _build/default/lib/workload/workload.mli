@@ -1,0 +1,52 @@
+(** The paper's synthetic benchmark (Section 4).
+
+    Each simulated processor alternates between a small constant amount of
+    local work and a queue access; the access is an unbiased coin flip
+    between [insert] of a random-priority element and [delete_min].  The
+    queue starts empty.  The metric is {e latency}: average simulated
+    cycles per access.
+
+    Every run also verifies multiset conservation (elements inserted =
+    elements deleted + elements remaining) and the queue's structural
+    invariants at quiescence, so the benchmarks double as stress tests. *)
+
+type spec = {
+  queue : string;  (** a {!Pqcore.Registry} name *)
+  nprocs : int;
+  npriorities : int;
+  ops_per_proc : int;
+  local_work : int;
+  insert_bias : int;  (** percentage of accesses that are inserts, 0-100 *)
+  seed : int;
+  elim : bool;  (** funnel elimination (ablation hook) *)
+  adaptive : bool;  (** funnel adaption (ablation hook) *)
+  cutoff : int;  (** FunnelTree funnel depth (ablation hook) *)
+  machine : Pqsim.Machine.t option;  (** cost-model override (sensitivity) *)
+  prefill : int;
+      (** elements inserted before the timed phase begins (behind a
+          barrier), to measure deep-queue behaviour; default 0 — the
+          paper's queues start empty *)
+}
+
+val spec : queue:string -> nprocs:int -> npriorities:int -> spec
+(** paper defaults: 50/50 mix, small constant local work *)
+
+type result = {
+  latency_all : float;  (** cycles per access, the paper's headline metric *)
+  latency_insert : float;
+  latency_delete : float;
+  inserts : int;
+  deletes : int;  (** delete_min calls that returned an element *)
+  empty_deletes : int;  (** delete_min calls that found nothing *)
+  cycles : int;  (** makespan of the whole run *)
+  queue_wait : int;  (** total cycles spent queued at busy lines *)
+  hot_lines : (int * int) list;
+      (** the five most contended addresses and their accumulated
+          queueing delay — the hot-spot profile *)
+}
+
+exception Verification_failure of string
+
+val run : ?ops_per_proc:int -> spec -> result
+(** [run spec] executes one benchmark; raises {!Verification_failure} if
+    conservation or a structural invariant fails afterwards. *)

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest List Pqcheck Printf QCheck QCheck_alcotest

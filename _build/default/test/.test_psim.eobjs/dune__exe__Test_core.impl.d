@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Api Array List Pqcore Pqsim Pqsync Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_counters.ml: Alcotest Api Array Fun List Machine Mem Pqcounters Pqsim Printf Sim Stats

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Api List Machine Mem Pqcore Pqsim Sim

@@ -1,0 +1,1 @@
+test/test_funnel.ml: Alcotest Api Array Fun List Pqfunnel Pqsim Pqstruct Pqsync Printf Sim

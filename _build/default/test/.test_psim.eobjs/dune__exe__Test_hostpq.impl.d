@@ -1,0 +1,1 @@
+test/test_hostpq.ml: Alcotest Domain Fun Hostpq List Option QCheck QCheck_alcotest Random

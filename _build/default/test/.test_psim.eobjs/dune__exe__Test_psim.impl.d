@@ -1,0 +1,1 @@
+test/test_psim.ml: Alcotest List Pqsim QCheck QCheck_alcotest

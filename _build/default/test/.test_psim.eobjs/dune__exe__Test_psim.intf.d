@@ -1,0 +1,1 @@
+test/test_psim.mli:

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Api Array Fun List Pqsim Pqstruct QCheck QCheck_alcotest Sim

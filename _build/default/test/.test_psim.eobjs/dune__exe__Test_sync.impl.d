@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Api Mem Pqsim Pqsync Printf Sim

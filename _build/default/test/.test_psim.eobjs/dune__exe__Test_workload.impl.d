@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Fun List Pqbenchlib Pqcore Str String Unix

@@ -1,0 +1,508 @@
+(* Tests for the combining funnel: counter (plain + bounded + elimination)
+   and stack (combining, elimination, chain distribution). *)
+
+open Pqsim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Fcounter: plain combining fetch-and-add *)
+
+let test_faa_exact () =
+  let nprocs = 32 and iters = 40 in
+  let c, result =
+    Sim.run ~nprocs
+      ~setup:(fun mem -> Pqfunnel.Fcounter.create mem ~nprocs ~init:0 ())
+      ~program:(fun c _ ->
+        for _ = 1 to iters do
+          ignore (Pqfunnel.Fcounter.add c 1)
+        done)
+      ()
+  in
+  check_int "exact total" (nprocs * iters)
+    (Pqfunnel.Fcounter.peek result.Sim.mem c)
+
+let test_faa_mixed_signs_exact () =
+  let nprocs = 16 and iters = 30 in
+  let c, result =
+    Sim.run ~nprocs
+      ~setup:(fun mem -> Pqfunnel.Fcounter.create mem ~nprocs ~init:1000 ())
+      ~program:(fun c pid ->
+        let delta = if pid mod 2 = 0 then 1 else -1 in
+        for _ = 1 to iters do
+          ignore (Pqfunnel.Fcounter.add c delta)
+        done)
+      ()
+  in
+  check_int "net zero" 1000 (Pqfunnel.Fcounter.peek result.Sim.mem c)
+
+let test_faa_return_values_unique () =
+  (* pure increments: the multiset of returned values must be exactly
+     init..init+n-1 (each increment observes a distinct pre-value) *)
+  let nprocs = 16 and iters = 20 in
+  let rets = Array.make nprocs [] in
+  let _ =
+    Sim.run ~nprocs
+      ~setup:(fun mem -> Pqfunnel.Fcounter.create mem ~nprocs ~init:0 ())
+      ~program:(fun c pid ->
+        for _ = 1 to iters do
+          rets.(pid) <- Pqfunnel.Fcounter.add c 1 :: rets.(pid)
+        done)
+      ()
+  in
+  let all = Array.to_list rets |> List.concat |> List.sort compare in
+  Alcotest.(check (list int))
+    "distinct pre-values"
+    (List.init (nprocs * iters) Fun.id)
+    all
+
+(* ------------------------------------------------------------------ *)
+(* Fcounter: homogeneous inc/dec with elimination *)
+
+let test_inc_exact () =
+  let nprocs = 32 and iters = 25 in
+  let c, result =
+    Sim.run ~nprocs
+      ~setup:(fun mem -> Pqfunnel.Fcounter.create mem ~nprocs ~init:0 ())
+      ~program:(fun c _ ->
+        for _ = 1 to iters do
+          ignore (Pqfunnel.Fcounter.inc c)
+        done)
+      ()
+  in
+  check_int "exact total" (nprocs * iters)
+    (Pqfunnel.Fcounter.peek result.Sim.mem c)
+
+let test_bounded_dec_floor () =
+  let nprocs = 16 in
+  let c, result =
+    Sim.run ~nprocs
+      ~setup:(fun mem ->
+        Pqfunnel.Fcounter.create mem ~nprocs ~floor:0 ~init:40 ())
+      ~program:(fun c _ ->
+        for _ = 1 to 10 do
+          ignore (Pqfunnel.Fcounter.dec c)
+        done)
+      ()
+  in
+  check_int "clamped at floor" 0 (Pqfunnel.Fcounter.peek result.Sim.mem c)
+
+let test_bounded_dec_success_count () =
+  (* exactly [init] decrements observe a value above the floor *)
+  let nprocs = 16 and init = 57 in
+  let wins = Array.make nprocs 0 in
+  let _ =
+    Sim.run ~nprocs
+      ~setup:(fun mem ->
+        Pqfunnel.Fcounter.create mem ~nprocs ~floor:0 ~init ())
+      ~program:(fun c pid ->
+        for _ = 1 to 8 do
+          if Pqfunnel.Fcounter.dec c > 0 then wins.(pid) <- wins.(pid) + 1
+        done)
+      ()
+  in
+  check_int "successful decrements" init (Array.fold_left ( + ) 0 wins)
+
+let conservation_mixed ~elim ~seed =
+  (* mixed inc/dec with floor 0: final value must equal
+     #inc - #(dec with return > 0), exactly, with or without elimination *)
+  let nprocs = 24 and iters = 30 in
+  let incs = ref 0 and good_decs = ref 0 in
+  let c, result =
+    Sim.run ~nprocs ~seed
+      ~setup:(fun mem ->
+        Pqfunnel.Fcounter.create mem ~nprocs ~elim ~floor:0 ~init:0 ())
+      ~program:(fun c _ ->
+        for _ = 1 to iters do
+          if Api.flip () then begin
+            ignore (Pqfunnel.Fcounter.inc c);
+            incr incs
+          end
+          else if Pqfunnel.Fcounter.dec c > 0 then incr good_decs;
+          Api.work (Api.rand 8)
+        done)
+      ()
+  in
+  check_int "conservation" (!incs - !good_decs)
+    (Pqfunnel.Fcounter.peek result.Sim.mem c);
+  check_bool "never negative" true
+    (Pqfunnel.Fcounter.peek result.Sim.mem c >= 0)
+
+let test_mixed_conservation_elim () = conservation_mixed ~elim:true ~seed:5
+let test_mixed_conservation_noelim () = conservation_mixed ~elim:false ~seed:6
+
+let test_mixed_conservation_many_seeds () =
+  for seed = 10 to 25 do
+    conservation_mixed ~elim:true ~seed
+  done
+
+let test_counter_deterministic () =
+  let run () =
+    let _, r =
+      Sim.run ~nprocs:16 ~seed:33
+        ~setup:(fun mem ->
+          Pqfunnel.Fcounter.create mem ~nprocs:16 ~floor:0 ~init:0 ())
+        ~program:(fun c _ ->
+          for _ = 1 to 20 do
+            if Api.flip () then ignore (Pqfunnel.Fcounter.inc c)
+            else ignore (Pqfunnel.Fcounter.dec c)
+          done)
+        ()
+    in
+    r.Sim.cycles
+  in
+  check_int "deterministic" (run ()) (run ())
+
+(* ------------------------------------------------------------------ *)
+(* Fstack *)
+
+let stack_conservation ~elim ~seed =
+  let nprocs = 24 and iters = 25 in
+  let pushed = Array.make nprocs [] in
+  let popped = Array.make nprocs [] in
+  let s, result =
+    Sim.run ~nprocs ~seed
+      ~setup:(fun mem ->
+        Pqfunnel.Fstack.create mem ~nprocs ~elim
+          ~max_pushes_per_proc:(iters + 1) ())
+      ~program:(fun s pid ->
+        for i = 1 to iters do
+          if Api.flip () then begin
+            let v = (pid * 10_000) + i in
+            Pqfunnel.Fstack.push s v;
+            pushed.(pid) <- v :: pushed.(pid)
+          end
+          else begin
+            match Pqfunnel.Fstack.pop s with
+            | Some v -> popped.(pid) <- v :: popped.(pid)
+            | None -> ()
+          end;
+          Api.work (Api.rand 8)
+        done)
+      ()
+  in
+  let all_pushed = Array.to_list pushed |> List.concat in
+  let all_popped = Array.to_list popped |> List.concat in
+  let remaining = Pqfunnel.Fstack.drain_now result.Sim.mem s in
+  let sorted l = List.sort compare l in
+  Alcotest.(check (list int))
+    "multiset conservation" (sorted all_pushed)
+    (sorted (all_popped @ remaining))
+
+let test_stack_conservation_elim () = stack_conservation ~elim:true ~seed:7
+let test_stack_conservation_noelim () = stack_conservation ~elim:false ~seed:8
+
+let test_stack_conservation_many_seeds () =
+  for seed = 40 to 55 do
+    stack_conservation ~elim:true ~seed
+  done
+
+let test_stack_pop_empty () =
+  let _ =
+    Sim.run ~nprocs:4
+      ~setup:(fun mem ->
+        Pqfunnel.Fstack.create mem ~nprocs:4 ~max_pushes_per_proc:4 ())
+      ~program:(fun s _ -> assert (Pqfunnel.Fstack.pop s = None))
+      ()
+  in
+  ()
+
+let test_stack_sequential_lifo () =
+  let _ =
+    Sim.run ~nprocs:1
+      ~setup:(fun mem ->
+        Pqfunnel.Fstack.create mem ~nprocs:1 ~max_pushes_per_proc:8 ())
+      ~program:(fun s _ ->
+        Pqfunnel.Fstack.push s 1;
+        Pqfunnel.Fstack.push s 2;
+        Pqfunnel.Fstack.push s 3;
+        assert (Pqfunnel.Fstack.pop s = Some 3);
+        assert (Pqfunnel.Fstack.pop s = Some 2);
+        Pqfunnel.Fstack.push s 4;
+        assert (Pqfunnel.Fstack.pop s = Some 4);
+        assert (Pqfunnel.Fstack.pop s = Some 1);
+        assert (Pqfunnel.Fstack.pop s = None))
+      ()
+  in
+  ()
+
+let test_stack_is_empty () =
+  let _ =
+    Sim.run ~nprocs:1
+      ~setup:(fun mem ->
+        Pqfunnel.Fstack.create mem ~nprocs:1 ~max_pushes_per_proc:4 ())
+      ~program:(fun s _ ->
+        assert (Pqfunnel.Fstack.is_empty s);
+        Pqfunnel.Fstack.push s 9;
+        assert (not (Pqfunnel.Fstack.is_empty s));
+        ignore (Pqfunnel.Fstack.pop s);
+        assert (Pqfunnel.Fstack.is_empty s))
+      ()
+  in
+  ()
+
+let test_stack_heavy_pop_side () =
+  (* pops dominate: most return None, stack drains completely *)
+  let nprocs = 16 in
+  let popped = ref 0 in
+  let s, result =
+    Sim.run ~nprocs
+      ~setup:(fun mem ->
+        Pqfunnel.Fstack.create mem ~nprocs ~max_pushes_per_proc:12 ())
+      ~program:(fun s pid ->
+        if pid = 0 then
+          for i = 1 to 10 do
+            Pqfunnel.Fstack.push s i
+          done
+        else
+          for _ = 1 to 10 do
+            (match Pqfunnel.Fstack.pop s with
+            | Some _ -> incr popped
+            | None -> ());
+            Api.work 5
+          done)
+      ()
+  in
+  let remaining = Pqfunnel.Fstack.size_now result.Sim.mem s in
+  check_int "pushed = popped + remaining" 10 (!popped + remaining)
+
+(* ------------------------------------------------------------------ *)
+(* Fqueue (Section 3.2 FIFO bins) *)
+
+let test_fqueue_sequential_fifo () =
+  let _ =
+    Sim.run ~nprocs:1
+      ~setup:(fun mem ->
+        Pqfunnel.Fqueue.create mem ~nprocs:1 ~max_pushes_per_proc:8 ())
+      ~program:(fun q _ ->
+        Pqfunnel.Fqueue.enqueue q 1;
+        Pqfunnel.Fqueue.enqueue q 2;
+        Pqfunnel.Fqueue.enqueue q 3;
+        assert (Pqfunnel.Fqueue.dequeue q = Some 1);
+        Pqfunnel.Fqueue.enqueue q 4;
+        assert (Pqfunnel.Fqueue.dequeue q = Some 2);
+        assert (Pqfunnel.Fqueue.dequeue q = Some 3);
+        assert (Pqfunnel.Fqueue.dequeue q = Some 4);
+        assert (Pqfunnel.Fqueue.dequeue q = None))
+      ()
+  in
+  ()
+
+let test_fqueue_is_empty () =
+  let _ =
+    Sim.run ~nprocs:1
+      ~setup:(fun mem ->
+        Pqfunnel.Fqueue.create mem ~nprocs:1 ~max_pushes_per_proc:4 ())
+      ~program:(fun q _ ->
+        assert (Pqfunnel.Fqueue.is_empty q);
+        Pqfunnel.Fqueue.enqueue q 5;
+        assert (not (Pqfunnel.Fqueue.is_empty q));
+        ignore (Pqfunnel.Fqueue.dequeue q);
+        assert (Pqfunnel.Fqueue.is_empty q))
+      ()
+  in
+  ()
+
+let fqueue_conservation ~elim ~seed =
+  let nprocs = 24 and iters = 25 in
+  let pushed = Array.make nprocs [] in
+  let popped = Array.make nprocs [] in
+  let q, result =
+    Sim.run ~nprocs ~seed
+      ~setup:(fun mem ->
+        Pqfunnel.Fqueue.create mem ~nprocs ~elim
+          ~max_pushes_per_proc:(iters + 1) ())
+      ~program:(fun q pid ->
+        for i = 1 to iters do
+          if Api.flip () then begin
+            let v = (pid * 10_000) + i in
+            Pqfunnel.Fqueue.enqueue q v;
+            pushed.(pid) <- v :: pushed.(pid)
+          end
+          else begin
+            match Pqfunnel.Fqueue.dequeue q with
+            | Some v -> popped.(pid) <- v :: popped.(pid)
+            | None -> ()
+          end;
+          Api.work (Api.rand 8)
+        done)
+      ()
+  in
+  let sorted l = List.sort compare l in
+  Alcotest.(check (list int))
+    "multiset conservation"
+    (sorted (Array.to_list pushed |> List.concat))
+    (sorted
+       ((Array.to_list popped |> List.concat)
+       @ Pqfunnel.Fqueue.drain_now result.Sim.mem q))
+
+let test_fqueue_conservation_fifo () = fqueue_conservation ~elim:false ~seed:21
+let test_fqueue_conservation_hybrid () = fqueue_conservation ~elim:true ~seed:22
+
+let test_fqueue_single_producer_order () =
+  (* one producer, one consumer: consumed values must preserve the
+     producer's order (pure FIFO mode) *)
+  let consumed = ref [] in
+  let _ =
+    Sim.run ~nprocs:2 ~seed:4
+      ~setup:(fun mem ->
+        Pqfunnel.Fqueue.create mem ~nprocs:2 ~elim:false
+          ~max_pushes_per_proc:21 ())
+      ~program:(fun q pid ->
+        if pid = 0 then
+          for i = 1 to 20 do
+            Pqfunnel.Fqueue.enqueue q i;
+            Api.work (Api.rand 30)
+          done
+        else begin
+          let got = ref 0 in
+          while !got < 20 do
+            (match Pqfunnel.Fqueue.dequeue q with
+            | Some v ->
+                consumed := v :: !consumed;
+                incr got
+            | None -> ());
+            Api.work 5
+          done
+        end)
+      ()
+  in
+  Alcotest.(check (list int))
+    "fifo order preserved"
+    (List.init 20 (fun i -> i + 1))
+    (List.rev !consumed)
+
+let test_fqueue_combined_batches_keep_order () =
+  (* many producers, then a quiescent point, then one consumer: within
+     each producer the order must be preserved even though enqueues were
+     combined into batches *)
+  let nprocs = 8 and per = 10 in
+  let consumed = ref [] in
+  let _ =
+    Sim.run ~nprocs ~seed:5
+      ~setup:(fun mem ->
+        let q =
+          Pqfunnel.Fqueue.create mem ~nprocs ~elim:false
+            ~max_pushes_per_proc:(per + 1) ()
+        in
+        let b = Pqsync.Barrier.create mem ~nprocs in
+        (q, b))
+      ~program:(fun (q, b) pid ->
+        for i = 1 to per do
+          Pqfunnel.Fqueue.enqueue q ((pid * 100) + i)
+        done;
+        Pqsync.Barrier.wait b;
+        if pid = 0 then begin
+          let rec drain () =
+            match Pqfunnel.Fqueue.dequeue q with
+            | Some v ->
+                consumed := v :: !consumed;
+                drain ()
+            | None -> ()
+          in
+          drain ()
+        end)
+      ()
+  in
+  let per_producer p =
+    List.rev !consumed |> List.filter (fun v -> v / 100 = p)
+  in
+  for p = 0 to nprocs - 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "producer %d order" p)
+      (List.init per (fun i -> (p * 100) + i + 1))
+      (per_producer p)
+  done
+
+let test_funnel_latency_scales_better_than_cas () =
+  (* sanity: at high concurrency a funnel counter beats a raw CAS-loop
+     counter on total runtime for the same work *)
+  let nprocs = 64 and iters = 30 in
+  let funnel_cycles =
+    let _, r =
+      Sim.run ~nprocs
+        ~setup:(fun mem -> Pqfunnel.Fcounter.create mem ~nprocs ~init:0 ())
+        ~program:(fun c _ ->
+          for _ = 1 to iters do
+            ignore (Pqfunnel.Fcounter.add c 1)
+          done)
+        ()
+    in
+    r.Sim.cycles
+  in
+  let cas_cycles =
+    let _, r =
+      Sim.run ~nprocs
+        ~setup:(fun mem -> Pqstruct.Counter.create mem ~init:0)
+        ~program:(fun c _ ->
+          for _ = 1 to iters do
+            ignore (Pqstruct.Counter.bfai c ~bound:max_int)
+          done)
+        ()
+    in
+    r.Sim.cycles
+  in
+  check_bool
+    (Printf.sprintf "funnel (%d) < cas-loop (%d) at 64 procs" funnel_cycles
+       cas_cycles)
+    true
+    (funnel_cycles < cas_cycles)
+
+let () =
+  Alcotest.run "pqfunnel"
+    [
+      ( "fcounter-plain",
+        [
+          Alcotest.test_case "faa exact" `Quick test_faa_exact;
+          Alcotest.test_case "faa mixed signs" `Quick
+            test_faa_mixed_signs_exact;
+          Alcotest.test_case "faa returns unique" `Quick
+            test_faa_return_values_unique;
+        ] );
+      ( "fcounter-bounded",
+        [
+          Alcotest.test_case "inc exact" `Quick test_inc_exact;
+          Alcotest.test_case "bounded dec floor" `Quick test_bounded_dec_floor;
+          Alcotest.test_case "bounded dec success count" `Quick
+            test_bounded_dec_success_count;
+          Alcotest.test_case "mixed conservation (elim)" `Quick
+            test_mixed_conservation_elim;
+          Alcotest.test_case "mixed conservation (no elim)" `Quick
+            test_mixed_conservation_noelim;
+          Alcotest.test_case "mixed conservation x16 seeds" `Slow
+            test_mixed_conservation_many_seeds;
+          Alcotest.test_case "deterministic" `Quick test_counter_deterministic;
+        ] );
+      ( "fstack",
+        [
+          Alcotest.test_case "conservation (elim)" `Quick
+            test_stack_conservation_elim;
+          Alcotest.test_case "conservation (no elim)" `Quick
+            test_stack_conservation_noelim;
+          Alcotest.test_case "conservation x16 seeds" `Slow
+            test_stack_conservation_many_seeds;
+          Alcotest.test_case "pop empty" `Quick test_stack_pop_empty;
+          Alcotest.test_case "sequential lifo" `Quick test_stack_sequential_lifo;
+          Alcotest.test_case "is_empty" `Quick test_stack_is_empty;
+          Alcotest.test_case "heavy pop side" `Quick test_stack_heavy_pop_side;
+        ] );
+      ( "fqueue",
+        [
+          Alcotest.test_case "sequential fifo" `Quick test_fqueue_sequential_fifo;
+          Alcotest.test_case "is_empty" `Quick test_fqueue_is_empty;
+          Alcotest.test_case "conservation (fifo)" `Quick
+            test_fqueue_conservation_fifo;
+          Alcotest.test_case "conservation (hybrid)" `Quick
+            test_fqueue_conservation_hybrid;
+          Alcotest.test_case "single producer order" `Quick
+            test_fqueue_single_producer_order;
+          Alcotest.test_case "combined batches keep order" `Quick
+            test_fqueue_combined_batches_keep_order;
+        ] );
+      ( "scaling",
+        [
+          Alcotest.test_case "funnel beats cas loop at 64p" `Slow
+            test_funnel_latency_scales_better_than_cas;
+        ] );
+    ]

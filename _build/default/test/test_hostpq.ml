@@ -1,0 +1,278 @@
+(* Tests for the host (real multicore) library: sequential semantics,
+   property tests, and conservation under genuine Domain parallelism. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* generic per-implementation tests *)
+
+module type QUEUE = Hostpq.Host_intf.S
+
+let seq_sorted (module Q : QUEUE) () =
+  let q = Q.create ~npriorities:32 () in
+  let input = [ 7; 3; 3; 31; 0; 5; 15; 1; 8; 2 ] in
+  List.iter (fun pri -> Q.insert q ~pri pri) input;
+  check_int "length" (List.length input) (Q.length q);
+  let rec drain acc =
+    match Q.delete_min q with
+    | Some (pri, _) -> drain (pri :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "ascending" (List.sort compare input) (drain [])
+
+let seq_payloads (module Q : QUEUE) () =
+  let q = Q.create ~npriorities:4 () in
+  Q.insert q ~pri:2 "two";
+  Q.insert q ~pri:0 "zero";
+  (match Q.delete_min q with
+  | Some (0, "zero") -> ()
+  | _ -> Alcotest.fail "expected (0, zero)");
+  (match Q.delete_min q with
+  | Some (2, "two") -> ()
+  | _ -> Alcotest.fail "expected (2, two)");
+  check_bool "empty" true (Q.delete_min q = None)
+
+let seq_bad_priority (module Q : QUEUE) () =
+  let q = Q.create ~npriorities:4 () in
+  let raised = try Q.insert q ~pri:4 0; false with Invalid_argument _ -> true in
+  check_bool "out of range rejected" true raised
+
+let prop_sorted (module Q : QUEUE) =
+  QCheck.Test.make
+    ~name:"host queue drains any input sorted"
+    ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 200) (int_bound 63))
+    (fun input ->
+      let q = Q.create ~npriorities:64 () in
+      List.iter (fun pri -> Q.insert q ~pri pri) input;
+      let rec drain acc =
+        match Q.delete_min q with
+        | Some (pri, _) -> drain (pri :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort compare input)
+
+let concurrent_conservation (module Q : QUEUE) () =
+  let ndomains = 4 and iters = 2_000 and npriorities = 16 in
+  let q = Q.create ~npriorities () in
+  let worker d () =
+    let rng = Random.State.make [| d; 77 |] in
+    let inserted = ref [] and deleted = ref [] in
+    for i = 1 to iters do
+      if Random.State.bool rng then begin
+        let pri = Random.State.int rng npriorities in
+        let v = (d * 1_000_000) + i in
+        Q.insert q ~pri v;
+        inserted := v :: !inserted
+      end
+      else
+        match Q.delete_min q with
+        | Some (_, v) -> deleted := v :: !deleted
+        | None -> ()
+    done;
+    (!inserted, !deleted)
+  in
+  let domains =
+    List.init ndomains (fun d -> Domain.spawn (worker d))
+  in
+  let results = List.map Domain.join domains in
+  let inserted = List.concat_map fst results in
+  let deleted = List.concat_map snd results in
+  let remaining =
+    let rec drain acc =
+      match Q.delete_min q with
+      | Some (_, v) -> drain (v :: acc)
+      | None -> acc
+    in
+    drain []
+  in
+  let sorted = List.sort compare in
+  Alcotest.(check (list int))
+    "multiset conservation" (sorted inserted)
+    (sorted (deleted @ remaining))
+
+let quiescent_k_smallest (module Q : QUEUE) () =
+  (* parallel insert phase, join (quiescent point), parallel delete phase:
+     deletions must return exactly the k smallest priorities *)
+  let ndomains = 4 and per_ins = 500 and per_del = 200 in
+  let npriorities = 64 in
+  let q = Q.create ~npriorities () in
+  let ins d () =
+    let rng = Random.State.make [| d; 13 |] in
+    List.init per_ins (fun _ ->
+        let pri = Random.State.int rng npriorities in
+        Q.insert q ~pri pri;
+        pri)
+  in
+  let inserted =
+    List.init ndomains (fun d -> Domain.spawn (ins d))
+    |> List.map Domain.join |> List.concat
+  in
+  let del () =
+    List.filter_map (fun _ -> Q.delete_min q) (List.init per_del Fun.id)
+    |> List.map fst
+  in
+  let deleted =
+    List.init ndomains (fun _ -> Domain.spawn del)
+    |> List.map Domain.join |> List.concat
+  in
+  check_int "all deletes succeeded" (ndomains * per_del) (List.length deleted);
+  let expected =
+    List.filteri
+      (fun i _ -> i < ndomains * per_del)
+      (List.sort compare inserted)
+  in
+  Alcotest.(check (list int))
+    "k smallest priorities" expected
+    (List.sort compare deleted)
+
+let implementations : (string * (module QUEUE)) list =
+  [
+    ("locked-heap", (module Hostpq.Locked_heap));
+    ("bin-pq", (module Hostpq.Bin_pq));
+    ("tree-pq", (module Hostpq.Tree_pq));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* elimination stack *)
+
+let test_stack_sequential () =
+  let s = Hostpq.Elim_stack.create () in
+  check_bool "empty" true (Hostpq.Elim_stack.is_empty s);
+  Hostpq.Elim_stack.push s 1;
+  Hostpq.Elim_stack.push s 2;
+  check_int "lifo" 2 (Option.get (Hostpq.Elim_stack.pop s));
+  check_int "lifo" 1 (Option.get (Hostpq.Elim_stack.pop s));
+  check_bool "drained" true (Hostpq.Elim_stack.pop s = None)
+
+let test_stack_concurrent_conservation () =
+  let s = Hostpq.Elim_stack.create () in
+  let ndomains = 4 and iters = 5_000 in
+  let worker d () =
+    let rng = Random.State.make [| d; 5 |] in
+    let pushed = ref [] and popped = ref [] in
+    for i = 1 to iters do
+      if Random.State.bool rng then begin
+        let v = (d * 1_000_000) + i in
+        Hostpq.Elim_stack.push s v;
+        pushed := v :: !pushed
+      end
+      else
+        match Hostpq.Elim_stack.pop s with
+        | Some v -> popped := v :: !popped
+        | None -> ()
+    done;
+    (!pushed, !popped)
+  in
+  let results =
+    List.init ndomains (fun d -> Domain.spawn (worker d))
+    |> List.map Domain.join
+  in
+  let pushed = List.concat_map fst results in
+  let popped = List.concat_map snd results in
+  let rec drain acc =
+    match Hostpq.Elim_stack.pop s with
+    | Some v -> drain (v :: acc)
+    | None -> acc
+  in
+  let remaining = drain [] in
+  let sorted = List.sort compare in
+  Alcotest.(check (list int))
+    "conservation" (sorted pushed)
+    (sorted (popped @ remaining))
+
+(* ------------------------------------------------------------------ *)
+(* bounded counter *)
+
+let test_counter_floor () =
+  let c = Hostpq.Bounded_counter.create ~floor:0 5 in
+  for _ = 1 to 10 do
+    ignore (Hostpq.Bounded_counter.dec c)
+  done;
+  check_int "clamped" 0 (Hostpq.Bounded_counter.get c)
+
+let test_counter_concurrent_exact () =
+  let c = Hostpq.Bounded_counter.create 0 in
+  let ndomains = 4 and iters = 10_000 in
+  List.init ndomains (fun _ ->
+      Domain.spawn (fun () ->
+          for _ = 1 to iters do
+            ignore (Hostpq.Bounded_counter.inc c)
+          done))
+  |> List.iter Domain.join;
+  check_int "exact" (ndomains * iters) (Hostpq.Bounded_counter.get c)
+
+let test_counter_concurrent_floor_wins () =
+  let init = 10_000 in
+  let c = Hostpq.Bounded_counter.create ~floor:0 init in
+  let ndomains = 4 and iters = 5_000 in
+  let wins =
+    List.init ndomains (fun _ ->
+        Domain.spawn (fun () ->
+            let w = ref 0 in
+            for _ = 1 to iters do
+              if Hostpq.Bounded_counter.dec c > 0 then incr w
+            done;
+            !w))
+    |> List.map Domain.join |> List.fold_left ( + ) 0
+  in
+  check_int "exactly init wins" init wins;
+  check_int "at floor" 0 (Hostpq.Bounded_counter.get c)
+
+let test_tree_pq_counters_settle () =
+  let q = Hostpq.Tree_pq.create ~npriorities:32 () in
+  let ndomains = 4 and iters = 3_000 in
+  List.init ndomains (fun d ->
+      Domain.spawn (fun () ->
+          let rng = Random.State.make [| d; 3 |] in
+          for _ = 1 to iters do
+            if Random.State.bool rng then
+              Hostpq.Tree_pq.insert q ~pri:(Random.State.int rng 32) 1
+            else ignore (Hostpq.Tree_pq.delete_min q)
+          done))
+  |> List.iter Domain.join;
+  match Hostpq.Tree_pq.check q with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  let per_impl (iname, m) =
+    ( iname,
+      [
+        Alcotest.test_case "sequential sorted" `Quick (seq_sorted m);
+        Alcotest.test_case "payloads" `Quick (seq_payloads m);
+        Alcotest.test_case "bad priority" `Quick (seq_bad_priority m);
+        Alcotest.test_case "concurrent conservation" `Quick
+          (concurrent_conservation m);
+        Alcotest.test_case "quiescent k smallest" `Quick
+          (quiescent_k_smallest m);
+      ] )
+  in
+  Alcotest.run "hostpq"
+    (List.map per_impl implementations
+    @ [
+        qsuite "props"
+          (List.map (fun (_, m) -> prop_sorted m) implementations);
+        ( "elim-stack",
+          [
+            Alcotest.test_case "sequential" `Quick test_stack_sequential;
+            Alcotest.test_case "concurrent conservation" `Quick
+              test_stack_concurrent_conservation;
+          ] );
+        ( "bounded-counter",
+          [
+            Alcotest.test_case "floor" `Quick test_counter_floor;
+            Alcotest.test_case "concurrent exact" `Quick
+              test_counter_concurrent_exact;
+            Alcotest.test_case "concurrent floor wins" `Quick
+              test_counter_concurrent_floor_wins;
+          ] );
+        ( "tree-pq-invariants",
+          [
+            Alcotest.test_case "counters settle" `Quick
+              test_tree_pq_counters_settle;
+          ] );
+      ])

@@ -1,0 +1,392 @@
+(* Tests for the pqsim simulator substrate. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Pqsim.Rng.make 7 and b = Pqsim.Rng.make 7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Pqsim.Rng.next a) (Pqsim.Rng.next b)
+  done
+
+let test_rng_split_independent () =
+  let m = Pqsim.Rng.make 7 in
+  let a = Pqsim.Rng.split m 0 and b = Pqsim.Rng.split m 1 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Pqsim.Rng.next a = Pqsim.Rng.next b then incr same
+  done;
+  check_bool "streams differ" true (!same < 5)
+
+let test_rng_bounds () =
+  let r = Pqsim.Rng.make 3 in
+  for _ = 1 to 1000 do
+    let v = Pqsim.Rng.int r 10 in
+    check_bool "in range" true (v >= 0 && v < 10)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Machine *)
+
+let test_machine_hops () =
+  let m = Pqsim.Machine.make ~nprocs:16 () in
+  check_int "self distance" 0 (Pqsim.Machine.hops m ~proc:0 ~line:0);
+  check_bool "symmetric-ish positive" true
+    (Pqsim.Machine.hops m ~proc:0 ~line:15 > 0)
+
+let test_machine_width () =
+  let m = Pqsim.Machine.make ~nprocs:256 () in
+  check_int "mesh width" 16 m.Pqsim.Machine.mesh_width
+
+(* ------------------------------------------------------------------ *)
+(* Evq *)
+
+let test_evq_order () =
+  let q = Pqsim.Evq.create () in
+  let out = ref [] in
+  Pqsim.Evq.push q ~time:5 (fun () -> out := 5 :: !out);
+  Pqsim.Evq.push q ~time:1 (fun () -> out := 1 :: !out);
+  Pqsim.Evq.push q ~time:3 (fun () -> out := 3 :: !out);
+  let rec drain () =
+    match Pqsim.Evq.pop q with
+    | None -> ()
+    | Some (_, run) ->
+        run ();
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "time order" [ 1; 3; 5 ] (List.rev !out)
+
+let test_evq_fifo_ties () =
+  let q = Pqsim.Evq.create () in
+  let out = ref [] in
+  for i = 0 to 9 do
+    Pqsim.Evq.push q ~time:7 (fun () -> out := i :: !out)
+  done;
+  let rec drain () =
+    match Pqsim.Evq.pop q with
+    | None -> ()
+    | Some (_, run) ->
+        run ();
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int))
+    "fifo on equal time"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !out)
+
+let test_evq_random_order =
+  QCheck.Test.make ~name:"evq pops in nondecreasing time order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let q = Pqsim.Evq.create () in
+      List.iter (fun t -> Pqsim.Evq.push q ~time:t ignore) times;
+      let rec drain last =
+        match Pqsim.Evq.pop q with
+        | None -> true
+        | Some (t, _) -> t >= last && drain t
+      in
+      drain min_int)
+
+(* ------------------------------------------------------------------ *)
+(* Mem (host-side behaviour) *)
+
+let mk_mem nprocs = Pqsim.Mem.create (Pqsim.Machine.make ~nprocs ())
+
+let test_mem_alloc_disjoint () =
+  let m = mk_mem 4 in
+  let a = Pqsim.Mem.alloc m 10 and b = Pqsim.Mem.alloc m 10 in
+  check_bool "null excluded" true (a > 0);
+  check_bool "disjoint" true (b >= a + 10)
+
+let test_mem_read_write () =
+  let m = mk_mem 4 in
+  let a = Pqsim.Mem.alloc m 1 in
+  let t1 = Pqsim.Mem.write m ~proc:0 ~now:0 a 42 in
+  let t2, v = Pqsim.Mem.read m ~proc:1 ~now:t1 a in
+  check_int "value" 42 v;
+  check_bool "time advances" true (t2 > t1)
+
+let test_mem_cache_hit_cheaper () =
+  let m = mk_mem 4 in
+  let a = Pqsim.Mem.alloc m 1 in
+  let t1, _ = Pqsim.Mem.read m ~proc:0 ~now:0 a in
+  let t2, _ = Pqsim.Mem.read m ~proc:0 ~now:t1 a in
+  check_bool "second read cheaper" true (t2 - t1 < t1)
+
+let test_mem_write_invalidates () =
+  let m = mk_mem 4 in
+  let a = Pqsim.Mem.alloc m 1 in
+  let t1, _ = Pqsim.Mem.read m ~proc:0 ~now:0 a in
+  let hit_cost =
+    let t2, _ = Pqsim.Mem.read m ~proc:0 ~now:t1 a in
+    t2 - t1
+  in
+  let t3 = Pqsim.Mem.write m ~proc:1 ~now:0 a 5 in
+  let t4, v = Pqsim.Mem.read m ~proc:0 ~now:t3 a in
+  check_int "sees new value" 5 v;
+  check_bool "invalidated: read is a miss" true (t4 - t3 > hit_cost)
+
+let test_mem_contention_serializes () =
+  let m = mk_mem 16 in
+  let a = Pqsim.Mem.alloc m 1 in
+  (* many atomics issued at the same cycle must finish at distinct,
+     increasing times *)
+  let times =
+    List.init 8 (fun p ->
+        let t, _ = Pqsim.Mem.faa m ~proc:p ~now:0 a 1 in
+        t)
+  in
+  let sorted = List.sort_uniq compare times in
+  check_int "distinct completion times" 8 (List.length sorted);
+  check_int "all increments applied" 8 (Pqsim.Mem.peek m a)
+
+let test_mem_cas_semantics () =
+  let m = mk_mem 2 in
+  let a = Pqsim.Mem.alloc m 1 in
+  Pqsim.Mem.poke m a 10;
+  let _, ok1 = Pqsim.Mem.cas m ~proc:0 ~now:0 a ~expected:10 ~desired:11 in
+  let _, ok2 = Pqsim.Mem.cas m ~proc:0 ~now:0 a ~expected:10 ~desired:12 in
+  check_bool "first cas wins" true ok1;
+  check_bool "second cas fails" false ok2;
+  check_int "final value" 11 (Pqsim.Mem.peek m a)
+
+let test_mem_swap () =
+  let m = mk_mem 2 in
+  let a = Pqsim.Mem.alloc m 1 in
+  Pqsim.Mem.poke m a 3;
+  let _, old = Pqsim.Mem.swap m ~proc:0 ~now:0 a 9 in
+  check_int "old" 3 old;
+  check_int "new" 9 (Pqsim.Mem.peek m a)
+
+(* ------------------------------------------------------------------ *)
+(* Sim engine *)
+
+let test_sim_counter_race () =
+  (* n processors each fetch-and-add 100 times: total must be exact *)
+  let nprocs = 16 in
+  let counter, result =
+    Pqsim.Sim.run ~nprocs
+      ~setup:(fun mem -> Pqsim.Mem.alloc mem 1)
+      ~program:(fun counter _pid ->
+        for _ = 1 to 100 do
+          ignore (Pqsim.Api.faa counter 1)
+        done)
+      ()
+  in
+  check_int "exact count" (nprocs * 100) (Pqsim.Mem.peek result.mem counter)
+
+let test_sim_cas_lock_mutual_exclusion () =
+  (* naive CAS spin lock protecting a non-atomic counter: increments via
+     read+write inside the lock must not be lost *)
+  let nprocs = 8 and iters = 50 in
+  let (lock, data), result =
+    Pqsim.Sim.run ~nprocs
+      ~setup:(fun mem -> (Pqsim.Mem.alloc mem 1, Pqsim.Mem.alloc mem 1))
+      ~program:(fun (lock, data) _pid ->
+        for _ = 1 to iters do
+          let rec acquire () =
+            if not (Pqsim.Api.cas lock ~expected:0 ~desired:1) then begin
+              ignore (Pqsim.Api.wait_change lock 1);
+              acquire ()
+            end
+          in
+          acquire ();
+          let v = Pqsim.Api.read data in
+          Pqsim.Api.work 3;
+          Pqsim.Api.write data (v + 1);
+          Pqsim.Api.write lock 0
+        done)
+      ()
+  in
+  ignore lock;
+  check_int "no lost updates" (nprocs * iters) (Pqsim.Mem.peek result.mem data)
+
+let test_sim_deterministic () =
+  let run () =
+    let _, r =
+      Pqsim.Sim.run ~nprocs:8 ~seed:99
+        ~setup:(fun mem -> Pqsim.Mem.alloc mem 1)
+        ~program:(fun c _ ->
+          for _ = 1 to 50 do
+            Pqsim.Api.work (Pqsim.Api.rand 10);
+            ignore (Pqsim.Api.faa c 1)
+          done)
+        ()
+    in
+    r.cycles
+  in
+  check_int "same cycles for same seed" (run ()) (run ())
+
+let test_sim_seed_changes_schedule () =
+  let run seed =
+    let _, r =
+      Pqsim.Sim.run ~nprocs:8 ~seed
+        ~setup:(fun mem -> Pqsim.Mem.alloc mem 1)
+        ~program:(fun c _ ->
+          for _ = 1 to 50 do
+            Pqsim.Api.work (Pqsim.Api.rand 50);
+            ignore (Pqsim.Api.faa c 1)
+          done)
+        ()
+    in
+    r.cycles
+  in
+  check_bool "different seeds differ" true (run 1 <> run 2)
+
+let test_sim_wait_change_wakes () =
+  let _, result =
+    Pqsim.Sim.run ~nprocs:2
+      ~setup:(fun mem -> Pqsim.Mem.alloc mem 1)
+      ~program:(fun flag pid ->
+        if pid = 0 then begin
+          Pqsim.Api.work 500;
+          Pqsim.Api.write flag 1
+        end
+        else begin
+          let v = Pqsim.Api.wait_change flag 0 in
+          assert (v = 1)
+        end)
+      ()
+  in
+  check_bool "finished after signal" true (result.cycles >= 500)
+
+let test_sim_deadlock_detected () =
+  let raised =
+    try
+      ignore
+        (Pqsim.Sim.run ~nprocs:1
+           ~setup:(fun mem -> Pqsim.Mem.alloc mem 1)
+           ~program:(fun flag _ -> ignore (Pqsim.Api.wait_change flag 0))
+           ());
+      false
+    with Pqsim.Sim.Deadlock _ -> true
+  in
+  check_bool "deadlock raised" true raised
+
+let test_sim_work_accumulates () =
+  let _, result =
+    Pqsim.Sim.run ~nprocs:1
+      ~setup:(fun _ -> ())
+      ~program:(fun () _ ->
+        for _ = 1 to 10 do
+          Pqsim.Api.work 7
+        done)
+      ()
+  in
+  check_int "10 * 7 cycles" 70 result.cycles
+
+let test_sim_stats_recorded () =
+  let _, result =
+    Pqsim.Sim.run ~nprocs:4
+      ~setup:(fun _ -> ())
+      ~program:(fun () _ ->
+        Pqsim.Api.timed "op" (fun () -> Pqsim.Api.work 10))
+      ()
+  in
+  check_int "4 samples" 4 (Pqsim.Stats.count result.stats "op");
+  Alcotest.(check (float 0.01)) "mean is 10" 10.0
+    (Pqsim.Stats.mean result.stats "op")
+
+let test_sim_hot_line_slower_than_spread () =
+  (* contention sanity: 64 procs hammering one word must take longer than
+     64 procs each hammering a private word *)
+  let run shared =
+    let _, r =
+      Pqsim.Sim.run ~nprocs:64
+        ~setup:(fun mem -> Pqsim.Mem.alloc mem 64)
+        ~program:(fun base pid ->
+          let addr = if shared then base else base + pid in
+          for _ = 1 to 50 do
+            ignore (Pqsim.Api.faa addr 1)
+          done)
+        ()
+    in
+    r.cycles
+  in
+  check_bool "hot spot is slower" true (run true > 2 * run false)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_summary () =
+  let s = Pqsim.Stats.create () in
+  List.iter (Pqsim.Stats.record s "x") [ 1; 2; 3; 4; 5 ];
+  match Pqsim.Stats.summary s "x" with
+  | None -> Alcotest.fail "expected summary"
+  | Some sum ->
+      check_int "count" 5 sum.count;
+      check_int "min" 1 sum.min;
+      check_int "max" 5 sum.max;
+      check_int "p50" 3 sum.p50
+
+let test_stats_merge_mean () =
+  let s = Pqsim.Stats.create () in
+  Pqsim.Stats.record s "a" 10;
+  Pqsim.Stats.record s "b" 20;
+  Alcotest.(check (float 0.01)) "merge" 15.0
+    (Pqsim.Stats.merge_mean s [ "a"; "b" ])
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "pqsim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "hops" `Quick test_machine_hops;
+          Alcotest.test_case "mesh width" `Quick test_machine_width;
+        ] );
+      ( "evq",
+        [
+          Alcotest.test_case "time order" `Quick test_evq_order;
+          Alcotest.test_case "fifo ties" `Quick test_evq_fifo_ties;
+        ] );
+      qsuite "evq-props" [ test_evq_random_order ];
+      ( "mem",
+        [
+          Alcotest.test_case "alloc disjoint" `Quick test_mem_alloc_disjoint;
+          Alcotest.test_case "read write" `Quick test_mem_read_write;
+          Alcotest.test_case "cache hit cheaper" `Quick
+            test_mem_cache_hit_cheaper;
+          Alcotest.test_case "write invalidates" `Quick
+            test_mem_write_invalidates;
+          Alcotest.test_case "contention serializes" `Quick
+            test_mem_contention_serializes;
+          Alcotest.test_case "cas semantics" `Quick test_mem_cas_semantics;
+          Alcotest.test_case "swap" `Quick test_mem_swap;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "counter race exact" `Quick test_sim_counter_race;
+          Alcotest.test_case "cas lock mutual exclusion" `Quick
+            test_sim_cas_lock_mutual_exclusion;
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+          Alcotest.test_case "seed changes schedule" `Quick
+            test_sim_seed_changes_schedule;
+          Alcotest.test_case "wait_change wakes" `Quick
+            test_sim_wait_change_wakes;
+          Alcotest.test_case "deadlock detected" `Quick
+            test_sim_deadlock_detected;
+          Alcotest.test_case "work accumulates" `Quick test_sim_work_accumulates;
+          Alcotest.test_case "stats recorded" `Quick test_sim_stats_recorded;
+          Alcotest.test_case "hot line slower" `Quick
+            test_sim_hot_line_slower_than_spread;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "merge mean" `Quick test_stats_merge_mean;
+        ] );
+    ]
