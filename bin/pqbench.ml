@@ -131,6 +131,97 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Run a single queue benchmark point.")
     Term.(const run $ queue $ procs $ priorities $ ops $ seed)
 
+let explore_cmd =
+  let queue =
+    Arg.(
+      value & opt string "all"
+      & info [ "queue" ] ~docv:"NAME"
+          ~doc:"Queue algorithm, or $(b,all) for the paper's seven.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "random"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Schedule generator: $(b,random), $(b,pct) or $(b,dfs).")
+  in
+  let budget =
+    Arg.(
+      value & opt int 64
+      & info [ "budget" ] ~docv:"N" ~doc:"Schedules to explore per queue.")
+  in
+  let procs =
+    Arg.(
+      value & opt int 4
+      & info [ "procs"; "p" ] ~docv:"P" ~doc:"Simulated processors.")
+  in
+  let priorities =
+    Arg.(
+      value & opt int 8
+      & info [ "priorities"; "n" ] ~docv:"N" ~doc:"Priority range.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 5
+      & info [ "ops" ] ~docv:"OPS" ~doc:"Queue accesses per processor.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 300_000
+      & info [ "max-states" ] ~docv:"M"
+          ~doc:"Search bound for each consistency check.")
+  in
+  let run queue policy budget procs priorities ops seed max_states =
+    match Pqexplore.Explore.policy_kind_of_string policy with
+    | Error e -> `Error (false, e)
+    | Ok policy ->
+        let queues =
+          if queue = "all" then Pqcore.Registry.names_paper else [ queue ]
+        in
+        let unknown =
+          List.filter (fun q -> not (List.mem q Pqcore.Registry.names)) queues
+        in
+        if unknown <> [] then
+          `Error
+            ( false,
+              Printf.sprintf "unknown queue %S; try `pqbench list'"
+                (List.hd unknown) )
+        else begin
+          let inconsistent = ref [] in
+          List.iter
+            (fun q ->
+              let cfg =
+                Pqexplore.Driver.config ~nprocs:procs ~npriorities:priorities
+                  ~ops_per_proc:ops ~max_states q
+              in
+              let r =
+                Pqexplore.Explore.run ~cfg ~seed ~queue:q ~policy ~budget ()
+              in
+              Format.printf "%a@." Pqexplore.Explore.pp_report r;
+              if r.Pqexplore.Explore.level = Pqexplore.Verdict.Inconsistent
+              then inconsistent := q :: !inconsistent)
+            queues;
+          match !inconsistent with
+          | [] -> `Ok ()
+          | qs ->
+              `Error
+                ( false,
+                  "quiescent-consistency violation found: "
+                  ^ String.concat ", " (List.rev qs) )
+        end
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Explore adversarial schedules and check each queue's consistency \
+          claims.")
+    Term.(
+      ret
+        (const run $ queue $ policy $ budget $ procs $ priorities $ ops $ seed
+       $ max_states))
+
 let () =
   let doc =
     "bounded-range concurrent priority queues on a simulated multiprocessor"
@@ -139,4 +230,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "pqbench" ~doc)
-          [ list_cmd; run_cmd; bench_cmd ]))
+          [ list_cmd; run_cmd; bench_cmd; explore_cmd ]))

@@ -7,10 +7,11 @@ type op =
 type event = { proc : int; op : op; t0 : int; t1 : int }
 type t = event list
 
-let record ~queue ~nprocs ~npriorities ~ops_per_proc ?(seed = 42) () =
+let record ~queue ~nprocs ~npriorities ~ops_per_proc ?(seed = 42)
+    ?(policy = Sched.fifo) () =
   let events = ref [] in
   let _ =
-    Sim.run ~nprocs ~seed
+    Sim.run ~nprocs ~seed ~policy
       ~setup:(fun mem ->
         Pqcore.Registry.create queue mem
           {

@@ -20,9 +20,15 @@ val record :
   npriorities:int ->
   ops_per_proc:int ->
   ?seed:int ->
+  ?policy:Pqsim.Sched.t ->
   unit ->
   t
 (** run the paper's coin-flip workload on [queue] and record every
-    operation with its timing *)
+    operation with its timing.  [policy] (default {!Pqsim.Sched.fifo})
+    is the engine scheduling policy: exploration drives this with an
+    adversarial schedule while keeping the per-processor op scripts
+    fixed (the coin flips come from per-processor streams, so the ops
+    each processor issues depend only on [seed], never on the
+    schedule). *)
 
 val pp : Format.formatter -> t -> unit

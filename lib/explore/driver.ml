@@ -1,0 +1,20 @@
+type config = {
+  queue : string;
+  nprocs : int;
+  npriorities : int;
+  ops_per_proc : int;
+  max_states : int;
+}
+
+let config ?(nprocs = 4) ?(npriorities = 8) ?(ops_per_proc = 5)
+    ?(max_states = 300_000) queue =
+  { queue; nprocs; npriorities; ops_per_proc; max_states }
+
+let history cfg ~policy ~seed =
+  Pqcheck.History.record ~queue:cfg.queue ~nprocs:cfg.nprocs
+    ~npriorities:cfg.npriorities ~ops_per_proc:cfg.ops_per_proc ~seed ~policy
+    ()
+
+let check cfg (s : Schedule.t) =
+  let h = history cfg ~policy:(Schedule.replay s) ~seed:s.Schedule.seed in
+  Verdict.classify ~max_states:cfg.max_states h

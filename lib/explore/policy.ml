@@ -1,0 +1,57 @@
+open Pqsim
+
+type recording = { policy : Sched.t; schedule : unit -> Schedule.t }
+
+let record ~seed (inner : Sched.t) =
+  let rev_trace = ref [] in
+  let policy info =
+    let d = inner info in
+    rev_trace := d :: !rev_trace;
+    d
+  in
+  let schedule () =
+    { Schedule.seed; decisions = Array.of_list (List.rev !rev_trace) }
+  in
+  { policy; schedule }
+
+let random ~seed ?(freq = 4) ?(max_delay = 300) ?(max_weight = 4) () :
+    Sched.t =
+  if freq < 1 then invalid_arg "Policy.random: freq must be >= 1";
+  let rng = Rng.make (seed lxor 0x5eed_f00d) in
+  fun _info ->
+    let weight = if max_weight > 0 then Rng.int rng max_weight else 0 in
+    let delay =
+      if max_delay > 0 && Rng.int rng freq = 0 then 1 + Rng.int rng max_delay
+      else 0
+    in
+    { Sched.delay; weight }
+
+let pct ~seed ~nprocs ?(depth = 3) ?(quantum = 50) ?(horizon = 256) () :
+    Sched.t =
+  if nprocs < 1 then invalid_arg "Policy.pct: nprocs must be >= 1";
+  let rng = Rng.make (seed lxor 0x9c7_ca5e) in
+  (* random permutation: prio.(p) is p's priority, higher runs sooner *)
+  let prio = Array.init nprocs Fun.id in
+  for i = nprocs - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = prio.(i) in
+    prio.(i) <- prio.(j);
+    prio.(j) <- t
+  done;
+  let change_points = Hashtbl.create 8 in
+  let horizon = max 1 horizon in
+  for _ = 1 to max 0 (depth - 1) do
+    Hashtbl.replace change_points (Rng.int rng horizon) ()
+  done;
+  (* demotions push below every existing priority *)
+  let next_low = ref (-1) in
+  fun (info : Sched.info) ->
+    if Hashtbl.mem change_points info.step then begin
+      prio.(info.proc) <- !next_low;
+      decr next_low
+    end;
+    let rank = ref 0 in
+    for p = 0 to nprocs - 1 do
+      if prio.(p) > prio.(info.proc) then incr rank
+    done;
+    { Sched.delay = quantum * !rank; weight = !rank }

@@ -1,0 +1,38 @@
+(** Adversarial scheduling policies for exploration.
+
+    Each policy here produces a {!Pqsim.Sched.t} the engine consults at
+    every effect boundary.  All are deterministic functions of their
+    seed, and all are meant to be wrapped in {!record} so the decisions
+    actually taken can be replayed and shrunk as a {!Schedule.t}. *)
+
+type recording = {
+  policy : Pqsim.Sched.t;  (** pass this to the engine *)
+  schedule : unit -> Schedule.t;
+      (** the decisions taken so far, as a replayable schedule *)
+}
+
+val record : seed:int -> Pqsim.Sched.t -> recording
+(** [record ~seed p] wraps [p], logging every decision.  [seed] is the
+    workload seed the run uses, stored so the schedule is standalone. *)
+
+val random :
+  seed:int -> ?freq:int -> ?max_delay:int -> ?max_weight:int -> unit ->
+  Pqsim.Sched.t
+(** Seeded preemption fuzzing: at each step, with probability [1/freq]
+    (default 4) stall the processor for a uniform 1..[max_delay]
+    (default 300) cycles; always draw a tie-break weight uniform in
+    0..[max_weight]-1 (default 4) so same-cycle races are shuffled
+    too.  Delay magnitudes comparable to a queue access move whole
+    operations past each other. *)
+
+val pct :
+  seed:int -> nprocs:int -> ?depth:int -> ?quantum:int -> ?horizon:int ->
+  unit -> Pqsim.Sched.t
+(** PCT-style priority scheduling (Burckhardt et al., ASPLOS 2010)
+    adapted to a time-based engine: every processor gets a random
+    priority rank; each of its operations is stalled [quantum] (default
+    50) cycles per rank below the top, so high-priority processors
+    systematically race ahead.  At [depth]-1 (default 3) random change
+    points within the first [horizon] (default 256) steps, the processor
+    scheduling at that step is demoted below everyone — the priority
+    inversions that catch bugs of preemption depth [depth]. *)

@@ -1,0 +1,29 @@
+open Pqcheck
+
+type t = { lin : Lincheck.verdict; qc : Lincheck.verdict }
+type level = Linearizable | Quiescent | Inconsistent
+
+let classify ?max_states h =
+  let lin = Lincheck.linearizable ?max_states h in
+  let qc =
+    match lin with
+    | Lincheck.Linearizable -> Lincheck.Linearizable
+    | Lincheck.Not_linearizable | Lincheck.Gave_up ->
+        Lincheck.quiescently_consistent ?max_states h
+  in
+  { lin; qc }
+
+let lin_violated t = t.lin = Lincheck.Not_linearizable
+let qc_violated t = t.qc = Lincheck.Not_linearizable
+
+let level t =
+  if qc_violated t then Inconsistent
+  else if lin_violated t then Quiescent
+  else Linearizable
+
+let level_to_string = function
+  | Linearizable -> "Linearizable"
+  | Quiescent -> "Quiescently consistent"
+  | Inconsistent -> "INCONSISTENT"
+
+let pp_level ppf l = Format.pp_print_string ppf (level_to_string l)

@@ -1,0 +1,30 @@
+(** Classifying one recorded history against the paper's two
+    consistency conditions (Appendix B). *)
+
+type t = {
+  lin : Pqcheck.Lincheck.verdict;  (** linearizability check result *)
+  qc : Pqcheck.Lincheck.verdict;
+      (** quiescent-consistency check result *)
+}
+
+(** the strongest consistency level a set of observations supports *)
+type level =
+  | Linearizable  (** no linearizability violation observed *)
+  | Quiescent
+      (** linearizability refuted, quiescent consistency never refuted *)
+  | Inconsistent  (** quiescent consistency refuted: a real ordering bug *)
+
+val classify : ?max_states:int -> Pqcheck.History.t -> t
+(** run both checks on one history.  The quiescent-consistency check is
+    skipped (trivially [Linearizable]) when the linearizability check
+    already accepted: linearizability implies quiescent consistency. *)
+
+val lin_violated : t -> bool
+val qc_violated : t -> bool
+
+val level : t -> level
+(** level supported by this single history; [Gave_up] counts as
+    not-refuted (the check is inconclusive, never a violation). *)
+
+val level_to_string : level -> string
+val pp_level : Format.formatter -> level -> unit

@@ -1,4 +1,4 @@
-type event = { time : int; seq : int; run : unit -> unit }
+type event = { time : int; weight : int; seq : int; run : unit -> unit }
 
 type t = {
   mutable heap : event array;
@@ -6,21 +6,24 @@ type t = {
   mutable next_seq : int;
 }
 
-let dummy = { time = 0; seq = 0; run = ignore }
+let dummy = { time = 0; weight = 0; seq = 0; run = ignore }
 let create () = { heap = Array.make 256 dummy; size = 0; next_seq = 0 }
 let is_empty t = t.size = 0
 let length t = t.size
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before a b =
+  a.time < b.time
+  || (a.time = b.time
+     && (a.weight < b.weight || (a.weight = b.weight && a.seq < b.seq)))
 
 let grow t =
   let heap = Array.make (2 * Array.length t.heap) dummy in
   Array.blit t.heap 0 heap 0 t.size;
   t.heap <- heap
 
-let push t ~time run =
+let push t ~time ?(weight = 0) run =
   if t.size = Array.length t.heap then grow t;
-  let e = { time; seq = t.next_seq; run } in
+  let e = { time; weight; seq = t.next_seq; run } in
   t.next_seq <- t.next_seq + 1;
   (* sift up *)
   let rec up i =

@@ -1,15 +1,17 @@
 (** Event queue for the discrete-event engine.
 
-    A binary min-heap of closures keyed by (time, sequence-number).  The
-    sequence number makes the ordering of same-cycle events deterministic:
-    events scheduled earlier run earlier. *)
+    A binary min-heap of closures keyed by (time, weight, sequence-number).
+    The weight is a scheduling-policy tie-break rank among same-cycle
+    events (see {!Sched}); the sequence number makes the remaining
+    ordering deterministic: events scheduled earlier run earlier. *)
 
 type t
 
 val create : unit -> t
 
-val push : t -> time:int -> (unit -> unit) -> unit
-(** [push t ~time run] schedules [run] at cycle [time]. *)
+val push : t -> time:int -> ?weight:int -> (unit -> unit) -> unit
+(** [push t ~time ?weight run] schedules [run] at cycle [time]; among
+    same-cycle events, lower [weight] (default 0) fires first. *)
 
 val pop : t -> (int * (unit -> unit)) option
 (** [pop t] removes and returns the earliest event, or [None] if empty. *)

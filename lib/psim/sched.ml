@@ -1,0 +1,8 @@
+type op = Read | Write | Swap | Cas | Faa | Work | Wait
+
+type info = { proc : int; time : int; step : int; op : op }
+type decision = { delay : int; weight : int }
+type t = info -> decision
+
+let continue_ = { delay = 0; weight = 0 }
+let fifo : t = fun _ -> continue_

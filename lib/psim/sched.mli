@@ -1,0 +1,46 @@
+(** Pluggable scheduling policy for the discrete-event engine.
+
+    By default the engine is a deterministic FIFO: events fire in
+    (cycle, scheduling-order) order and an operation's continuation
+    resumes exactly at its completion cycle.  A policy turns both knobs
+    into per-decision hooks, consulted once at every effect boundary —
+    each time a processor's continuation is about to be rescheduled:
+
+    - {b delay injection}: the policy may stall the processor for extra
+      cycles after the operation completes, perturbing the order in
+      which its subsequent shared-memory operations are issued;
+    - {b tie-breaking}: the policy assigns a weight; events scheduled
+      for the same cycle fire in increasing weight order (scheduling
+      order breaks remaining ties), so same-cycle races become policy
+      decisions instead of fixed FIFO order.
+
+    Policies are ordinary closures and may carry state (random streams,
+    priority tables, recorded traces).  The engine consults the policy
+    in a deterministic order, so a stateful policy still yields
+    bit-for-bit reproducible runs.  {!Pqexplore} builds schedule
+    exploration (fuzzing, PCT, bounded exhaustive search) on top of
+    this hook. *)
+
+(** the kind of operation whose completion is being scheduled *)
+type op = Read | Write | Swap | Cas | Faa | Work | Wait
+
+type info = {
+  proc : int;  (** processor being rescheduled *)
+  time : int;  (** the operation's natural completion cycle *)
+  step : int;  (** global decision index (0, 1, 2, ... within a run) *)
+  op : op;
+}
+
+type decision = {
+  delay : int;  (** extra stall cycles, added to [time]; clamped at 0 *)
+  weight : int;  (** tie-break rank among same-cycle events (lower first) *)
+}
+
+type t = info -> decision
+
+val continue_ : decision
+(** [{ delay = 0; weight = 0 }] — proceed undisturbed. *)
+
+val fifo : t
+(** the default policy: never delays, never re-ranks; with it the engine
+    behaves exactly as it did before policies existed. *)

@@ -25,8 +25,8 @@ type result = {
   queue_wait : int;
 }
 
-let run ?machine ?(seed = 1) ?(max_cycles = 2_000_000_000) ~nprocs ~setup
-    ~program () =
+let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
+    ?(max_cycles = 2_000_000_000) ~nprocs ~setup ~program () =
   let machine =
     match machine with Some m -> m | None -> Machine.make ~nprocs ()
   in
@@ -39,11 +39,15 @@ let run ?machine ?(seed = 1) ?(max_cycles = 2_000_000_000) ~nprocs ~setup
   let ptime = Array.make nprocs 0 in
   let running = ref nprocs in
   let clock = ref 0 in
+  let step = ref 0 in
   let handler pid : (unit, unit) Effect.Deep.handler =
     let open Effect.Deep in
-    let resume_at : type a. int -> (a, unit) continuation -> a -> unit =
-     fun time k v ->
-      Evq.push q ~time (fun () ->
+    let resume_at : type a. Sched.op -> int -> (a, unit) continuation -> a -> unit =
+     fun op time k v ->
+      let d = policy { Sched.proc = pid; time; step = !step; op } in
+      incr step;
+      let time = time + max 0 d.Sched.delay in
+      Evq.push q ~time ~weight:d.Sched.weight (fun () ->
           ptime.(pid) <- time;
           continue k v)
     in
@@ -53,39 +57,43 @@ let run ?machine ?(seed = 1) ?(max_cycles = 2_000_000_000) ~nprocs ~setup
           Some
             (fun k ->
               let t, v = Mem.read mem ~proc:pid ~now:ptime.(pid) addr in
-              resume_at t k v)
+              resume_at Sched.Read t k v)
       | Write (addr, v) ->
           Some
             (fun k ->
               let t = Mem.write mem ~proc:pid ~now:ptime.(pid) addr v in
-              resume_at t k ())
+              resume_at Sched.Write t k ())
       | Swap (addr, v) ->
           Some
             (fun k ->
               let t, old = Mem.swap mem ~proc:pid ~now:ptime.(pid) addr v in
-              resume_at t k old)
+              resume_at Sched.Swap t k old)
       | Cas (addr, expected, desired) ->
           Some
             (fun k ->
               let t, ok =
                 Mem.cas mem ~proc:pid ~now:ptime.(pid) addr ~expected ~desired
               in
-              resume_at t k ok)
+              resume_at Sched.Cas t k ok)
       | Faa (addr, d) ->
           Some
             (fun k ->
               let t, old = Mem.faa mem ~proc:pid ~now:ptime.(pid) addr d in
-              resume_at t k old)
+              resume_at Sched.Faa t k old)
       | Work n ->
           Some
             (fun k ->
-              if n <= 0 then continue k () else resume_at (ptime.(pid) + n) k ())
+              if n <= 0 then continue k ()
+              else resume_at Sched.Work (ptime.(pid) + n) k ())
       | Wait_change (addr, v0) ->
           Some
             (fun k ->
               let rec attempt now =
                 let t, _ = Mem.read mem ~proc:pid ~now addr in
-                Evq.push q ~time:t (fun () ->
+                let d = policy { Sched.proc = pid; time = t; step = !step; op = Sched.Wait } in
+                incr step;
+                let t = t + max 0 d.Sched.delay in
+                Evq.push q ~time:t ~weight:d.Sched.weight (fun () ->
                     (* check and (if needed) arm the watcher inside one
                        event, so no write can slip between them *)
                     let current = Mem.peek mem addr in

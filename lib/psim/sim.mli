@@ -46,6 +46,7 @@ type result = {
 val run :
   ?machine:Machine.t ->
   ?seed:int ->
+  ?policy:Sched.t ->
   ?max_cycles:int ->
   nprocs:int ->
   setup:(Mem.t -> 'a) ->
@@ -54,4 +55,10 @@ val run :
   'a * result
 (** [run ~nprocs ~setup ~program ()] allocates shared structures with
     [setup] (host-side, cycle 0), then runs [program shared pid] on each of
-    the [nprocs] simulated processors until all finish. *)
+    the [nprocs] simulated processors until all finish.
+
+    [policy] (default {!Sched.fifo}) is consulted at every effect
+    boundary and may inject bounded stalls or re-rank same-cycle events
+    — the hook {!Pqexplore} uses to turn the scheduler into an
+    adversary.  With the default policy, runs are bit-for-bit identical
+    to the engine without the hook. *)

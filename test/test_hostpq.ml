@@ -127,6 +127,51 @@ let quiescent_k_smallest (module Q : QUEUE) () =
     "k smallest priorities" expected
     (List.sort compare deleted)
 
+let stress_sorted_drain (module Q : QUEUE) () =
+  (* heavier mixed load across more domains than the basic conservation
+     test: bursty insert-heavy then delete-heavy phases, then at
+     quiescence the host drains the survivors, checking both multiset
+     conservation and that the drain comes out in priority order *)
+  let ndomains = 6 and iters = 3_000 and npriorities = 32 in
+  let q = Q.create ~npriorities () in
+  let worker d () =
+    let rng = Random.State.make [| d; 991 |] in
+    let inserted = ref [] and deleted = ref [] in
+    for i = 1 to iters do
+      let insert_pct = if i <= iters / 2 then 70 else 30 in
+      if Random.State.int rng 100 < insert_pct then begin
+        let pri = Random.State.int rng npriorities in
+        let v = (d * 1_000_000) + i in
+        Q.insert q ~pri v;
+        inserted := (pri, v) :: !inserted
+      end
+      else
+        match Q.delete_min q with
+        | Some (pri, v) -> deleted := (pri, v) :: !deleted
+        | None -> ()
+    done;
+    (!inserted, !deleted)
+  in
+  let results =
+    List.init ndomains (fun d -> Domain.spawn (worker d))
+    |> List.map Domain.join
+  in
+  let inserted = List.concat_map fst results in
+  let deleted = List.concat_map snd results in
+  let rec drain acc last =
+    match Q.delete_min q with
+    | Some (pri, v) ->
+        if pri < last then
+          Alcotest.failf "drain not sorted at quiescence: %d after %d" pri last;
+        drain ((pri, v) :: acc) pri
+    | None -> acc
+  in
+  let remaining = drain [] min_int in
+  let sorted = List.sort compare in
+  Alcotest.(check (list (pair int int)))
+    "multiset conservation under stress" (sorted inserted)
+    (sorted (deleted @ remaining))
+
 let implementations : (string * (module QUEUE)) list =
   [
     ("locked-heap", (module Hostpq.Locked_heap));
@@ -249,6 +294,8 @@ let () =
           (concurrent_conservation m);
         Alcotest.test_case "quiescent k smallest" `Quick
           (quiescent_k_smallest m);
+        Alcotest.test_case "stress: conservation + sorted drain" `Quick
+          (stress_sorted_drain m);
       ] )
   in
   Alcotest.run "hostpq"
