@@ -222,6 +222,130 @@ let explore_cmd =
         (const run $ queue $ policy $ budget $ procs $ priorities $ ops $ seed
        $ max_states))
 
+let faults_cmd =
+  let queue =
+    Arg.(
+      value & opt string "all"
+      & info [ "queue" ] ~docv:"NAME"
+          ~doc:"Queue algorithm, or $(b,all) for the paper's seven.")
+  in
+  let plans =
+    Arg.(
+      value & opt string "all"
+      & info [ "plans" ] ~docv:"PLANS"
+          ~doc:
+            "Comma-separated fault plans ($(b,crash-one), $(b,crash-lock), \
+             $(b,pause), $(b,slow-node)) or $(b,all).")
+  in
+  let procs =
+    Arg.(
+      value & opt int 4
+      & info [ "procs"; "p" ] ~docv:"P" ~doc:"Simulated processors.")
+  in
+  let priorities =
+    Arg.(
+      value & opt int 8
+      & info [ "priorities"; "n" ] ~docv:"N" ~doc:"Priority range.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 6
+      & info [ "ops" ] ~docv:"OPS" ~doc:"Queue accesses per processor.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 3
+      & info [ "rounds" ] ~docv:"R" ~doc:"Fault seeds per plan.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Print every round's outcome.")
+  in
+  let parse_plans s =
+    if s = "all" then Ok Pqfault.Plan.all
+    else
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun p -> p <> "")
+      |> List.fold_left
+           (fun acc p ->
+             match (acc, Pqfault.Plan.of_string p) with
+             | Error e, _ -> Error e
+             | _, Error e -> Error e
+             | Ok ps, Ok p -> Ok (ps @ [ p ]))
+           (Ok [])
+  in
+  let run queue plans procs priorities ops seed rounds verbose =
+    match parse_plans plans with
+    | Error e -> `Error (false, e)
+    | Ok plans -> (
+        let queues =
+          if queue = "all" then Pqcore.Registry.names_paper else [ queue ]
+        in
+        let unknown =
+          List.filter (fun q -> not (List.mem q Pqcore.Registry.names)) queues
+        in
+        if unknown <> [] then
+          `Error
+            ( false,
+              Printf.sprintf "unknown queue %S; try `pqbench list'"
+                (List.hd unknown) )
+        else begin
+          let reports =
+            List.map
+              (fun q ->
+                Pqfault.Driver.run ~plans
+                  (Pqfault.Driver.config ~nprocs:procs ~npriorities:priorities
+                     ~ops_per_proc:ops ~seed ~rounds q))
+              queues
+          in
+          if verbose then
+            List.iter
+              (Format.printf "%a@." Pqfault.Driver.pp_report)
+              reports;
+          (* verdict matrix: queues x plans *)
+          Printf.printf "%-22s %9s" "queue" "baseline";
+          List.iter
+            (fun p -> Printf.printf " %12s" (Pqfault.Plan.name p))
+            plans;
+          Printf.printf "  safety\n";
+          List.iter
+            (fun (r : Pqfault.Driver.report) ->
+              Printf.printf "%-22s %9d" r.Pqfault.Driver.queue
+                r.Pqfault.Driver.baseline_cycles;
+              List.iter
+                (fun (pr : Pqfault.Driver.plan_report) ->
+                  Printf.printf " %12s"
+                    (Pqfault.Driver.verdict_to_string pr.Pqfault.Driver.verdict))
+                r.Pqfault.Driver.plans;
+              Printf.printf "  %s\n"
+                (if r.Pqfault.Driver.safe then "ok" else "VIOLATED"))
+            reports;
+          let failures =
+            List.concat_map
+              (fun r ->
+                match Pqfault.Driver.gate r with Ok () -> [] | Error l -> l)
+              reports
+          in
+          match failures with
+          | [] -> `Ok ()
+          | l -> `Error (false, String.concat "\n" l)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Inject faults (crashes, pauses, slow memory) and report each \
+          queue's progress verdict and post-fault safety.")
+    Term.(
+      ret
+        (const run $ queue $ plans $ procs $ priorities $ ops $ seed $ rounds
+       $ verbose))
+
 let () =
   let doc =
     "bounded-range concurrent priority queues on a simulated multiprocessor"
@@ -230,4 +354,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "pqbench" ~doc)
-          [ list_cmd; run_cmd; bench_cmd; explore_cmd ]))
+          [ list_cmd; run_cmd; bench_cmd; explore_cmd; faults_cmd ]))

@@ -5,9 +5,17 @@ type recording = { policy : Sched.t; schedule : unit -> Schedule.t }
 let record ~seed (inner : Sched.t) =
   let rev_trace = ref [] in
   let policy info =
-    let d = inner info in
+    let v = inner info in
+    (* exploration policies never fault, but stay total: a pause records
+       as its equivalent delay, a crash as no perturbation *)
+    let d =
+      match v with
+      | Sched.Run d -> d
+      | Sched.Pause n -> { Sched.delay = n; weight = 0 }
+      | Sched.Stall_forever -> Sched.continue_
+    in
     rev_trace := d :: !rev_trace;
-    d
+    v
   in
   let schedule () =
     { Schedule.seed; decisions = Array.of_list (List.rev !rev_trace) }
@@ -24,7 +32,7 @@ let random ~seed ?(freq = 4) ?(max_delay = 300) ?(max_weight = 4) () :
       if max_delay > 0 && Rng.int rng freq = 0 then 1 + Rng.int rng max_delay
       else 0
     in
-    { Sched.delay; weight }
+    Sched.Run { Sched.delay; weight }
 
 let pct ~seed ~nprocs ?(depth = 3) ?(quantum = 50) ?(horizon = 256) () :
     Sched.t =
@@ -54,4 +62,4 @@ let pct ~seed ~nprocs ?(depth = 3) ?(quantum = 50) ?(horizon = 256) () :
     for p = 0 to nprocs - 1 do
       if prio.(p) > prio.(info.proc) then incr rank
     done;
-    { Sched.delay = quantum * !rank; weight = !rank }
+    Sched.Run { Sched.delay = quantum * !rank; weight = !rank }

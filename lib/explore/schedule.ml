@@ -6,7 +6,8 @@ let decision t i =
   if i >= 0 && i < Array.length t.decisions then t.decisions.(i)
   else Pqsim.Sched.continue_
 
-let replay t : Pqsim.Sched.t = fun info -> decision t info.Pqsim.Sched.step
+let replay t : Pqsim.Sched.t =
+ fun info -> Pqsim.Sched.Run (decision t info.Pqsim.Sched.step)
 
 let length t = Array.length t.decisions
 

@@ -1,0 +1,323 @@
+open Pqsim
+
+type config = {
+  queue : string;
+  nprocs : int;
+  npriorities : int;
+  ops_per_proc : int;
+  seed : int;
+  rounds : int;
+}
+
+let config ?(nprocs = 4) ?(npriorities = 8) ?(ops_per_proc = 6) ?(seed = 1)
+    ?(rounds = 3) queue =
+  { queue; nprocs; npriorities; ops_per_proc; seed; rounds }
+
+type outcome = Completed of int | Stuck of string
+
+(* constructor order carries severity: [max] of two verdicts is the worse *)
+type verdict = Unaffected | Degraded | Blocked
+
+let verdict_to_string = function
+  | Unaffected -> "unaffected"
+  | Degraded -> "degraded"
+  | Blocked -> "BLOCKED"
+
+type round = {
+  trigger : string;
+  outcome : outcome;
+  faulted : int list;
+  safety : (unit, string) result;
+  verdict : verdict;
+}
+
+type plan_report = { plan : Plan.t; rounds : round list; verdict : verdict }
+
+type report = {
+  queue : string;
+  baseline_cycles : int;
+  plans : plan_report list;
+  verdict : verdict;
+  safe : bool;
+}
+
+(* same sizing as the checker's coin-flip workload: every op can be an
+   insert, so capacity must cover them all *)
+let params cfg : Pqcore.Pq_intf.params =
+  {
+    (Pqcore.Pq_intf.default_params ~nprocs:cfg.nprocs
+       ~npriorities:cfg.npriorities)
+    with
+    capacity = (cfg.nprocs * cfg.ops_per_proc) + 1;
+    bin_capacity = (cfg.nprocs * cfg.ops_per_proc) + 1;
+    ops_per_proc = cfg.ops_per_proc + 1;
+  }
+
+type raw = {
+  raw_outcome : outcome;
+  raw_faulted : int list;
+  done_ops : int array;
+  inserted : (int * int) list;  (* accepted inserts, host-recorded *)
+  deleted : (int * int) list;
+  leftover : (int * int) list option;  (* None: setup never finished *)
+}
+
+(* One run of the coin-flip workload under [policy].  All bookkeeping
+   lives host-side so it survives an aborted run: the queue handle is
+   captured from [setup] and drained even when the engine bails out with
+   a progress failure.  Each completed operation performs [Api.progress]
+   to feed the watchdog, then bumps its processor's completion count —
+   so a crashed or stranded processor leaves at most one operation
+   applied-but-unrecorded, which the safety check tolerates as slack. *)
+let execute cfg ~policy ~degrade ~watchdog =
+  let inserted = Array.make cfg.nprocs [] in
+  let deleted = Array.make cfg.nprocs [] in
+  let done_ops = Array.make cfg.nprocs 0 in
+  let captured = ref None in
+  let faulted = ref [] in
+  let outcome =
+    try
+      let _, r =
+        Sim.run ~nprocs:cfg.nprocs ~seed:cfg.seed ~policy ?watchdog
+          ~setup:(fun mem ->
+            degrade mem;
+            let q = Pqcore.Registry.create cfg.queue mem (params cfg) in
+            captured := Some (q, mem);
+            q)
+          ~program:(fun q pid ->
+            for i = 1 to cfg.ops_per_proc do
+              Api.work (Api.rand 20);
+              (if Api.flip () then begin
+                 let pri = Api.rand cfg.npriorities in
+                 let payload = (pid * 10_000) + i in
+                 if q.Pqcore.Pq_intf.insert ~pri ~payload then
+                   inserted.(pid) <- (pri, payload) :: inserted.(pid)
+               end
+               else
+                 match q.Pqcore.Pq_intf.delete_min () with
+                 | Some e -> deleted.(pid) <- e :: deleted.(pid)
+                 | None -> ());
+              Api.progress ();
+              done_ops.(pid) <- i
+            done)
+          ()
+      in
+      faulted := r.Sim.faulted;
+      Completed r.Sim.cycles
+    with
+    | Sim.Progress_failure d ->
+        faulted := d.Sim.faulted;
+        Stuck (Format.asprintf "%a" Sim.pp_diagnosis d)
+    | Sim.Deadlock msg -> Stuck ("deadlock: " ^ msg)
+    | Sim.Spin_limit { proc; addr; wakeups } ->
+        Stuck
+          (Printf.sprintf "livelock: p%d woken %d times on line %d" proc
+             wakeups addr)
+    | Sim.Cycle_limit n -> Stuck (Printf.sprintf "cycle limit %d exceeded" n)
+    | Failure msg -> Stuck msg
+  in
+  let leftover =
+    match !captured with
+    | None -> None
+    | Some (q, mem) -> Some (q.Pqcore.Pq_intf.drain_now mem)
+  in
+  {
+    raw_outcome = outcome;
+    raw_faulted = !faulted;
+    done_ops;
+    inserted = List.concat (Array.to_list inserted);
+    deleted = List.concat (Array.to_list deleted);
+    leftover;
+  }
+
+(* multiset difference: elements of [a] not matched by one of [b] *)
+let diff_multiset a b =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace tbl x
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl x)))
+    b;
+  List.filter
+    (fun x ->
+      match Hashtbl.find_opt tbl x with
+      | Some n when n > 0 ->
+          Hashtbl.replace tbl x (n - 1);
+          false
+      | _ -> true)
+    a
+
+let duplicates l =
+  let tbl = Hashtbl.create 64 in
+  List.filter
+    (fun x ->
+      let seen = Hashtbl.mem tbl x in
+      Hashtbl.replace tbl x ();
+      seen)
+    l
+
+(* Conservation among the surviving operations.  A processor that was
+   crashed or stranded mid-operation may have applied a memory-visible
+   insert or delete the host never recorded, and worse: a crash-stop (or
+   watchdog abort) can freeze a structure mid-mutation — a hole-based
+   heap sift, for instance, transiently holds one element twice — so the
+   drained leftovers may show a torn intermediate state.  Each unfinished
+   processor has at most one operation in flight, so every discrepancy
+   class (unrecorded phantom, unrecorded loss, transient duplicate) is
+   tolerated up to one per unfinished processor ("slack") and no
+   further: systematic corruption still fails. *)
+let safety cfg raw =
+  match raw.leftover with
+  | None -> Error "queue was never constructed"
+  | Some leftover -> (
+      let out = raw.deleted @ leftover in
+      let slack =
+        Array.fold_left
+          (fun acc d -> if d < cfg.ops_per_proc then acc + 1 else acc)
+          0 raw.done_ops
+      in
+      match duplicates (List.map snd out) with
+      | dup when List.length dup > slack ->
+          Error
+            (Printf.sprintf "element duplicated: payload(s) %s (slack %d)"
+               (String.concat "," (List.map string_of_int dup))
+               slack)
+      | _ ->
+          let phantom = List.length (diff_multiset out raw.inserted) in
+          let lost = List.length (diff_multiset raw.inserted out) in
+          if phantom > slack then
+            Error
+              (Printf.sprintf
+                 "%d element(s) present that no recorded insert produced \
+                  (slack %d)"
+                 phantom slack)
+          else if lost > slack then
+            Error
+              (Printf.sprintf "%d recorded insert(s) vanished (slack %d)" lost
+                 slack)
+          else Ok ())
+
+exception Baseline_stuck of string
+
+let baseline cfg =
+  let raw =
+    execute cfg ~policy:Sched.fifo ~degrade:(fun _ -> ()) ~watchdog:None
+  in
+  (match safety cfg raw with
+  | Ok () -> ()
+  | Error e ->
+      raise
+        (Baseline_stuck
+           (Printf.sprintf "%s: fault-free baseline unsafe: %s" cfg.queue e)));
+  match raw.raw_outcome with
+  | Completed c -> c
+  | Stuck msg ->
+      raise
+        (Baseline_stuck
+           (Printf.sprintf "%s: fault-free baseline stuck: %s" cfg.queue msg))
+
+let degraded_ratio = 1.25
+
+(* The watchdog must outlast any legitimate quiet stretch: a paused
+   processor produces no progress for its whole pause, and a degraded
+   run is slower throughout, so the threshold scales off the fault-free
+   baseline plus the injected stall. *)
+let watchdog_for plan ~baseline_cycles =
+  (4 * baseline_cycles) + 50_000
+  + (match plan with Plan.Pause_resume { pause } -> pause | _ -> 0)
+
+let run_round (cfg : config) ~baseline_cycles plan k =
+  let armed = Plan.arm plan ~seed:(cfg.seed + (211 * k)) ~nprocs:cfg.nprocs in
+  let raw =
+    execute cfg ~policy:armed.Plan.policy ~degrade:(Plan.degrade plan)
+      ~watchdog:(Some (watchdog_for plan ~baseline_cycles))
+  in
+  let verdict =
+    match raw.raw_outcome with
+    | Stuck _ -> Blocked
+    | Completed c ->
+        if float_of_int c > degraded_ratio *. float_of_int baseline_cycles
+        then Degraded
+        else Unaffected
+  in
+  {
+    trigger = armed.Plan.trigger;
+    outcome = raw.raw_outcome;
+    faulted = raw.raw_faulted;
+    safety = safety cfg raw;
+    verdict;
+  }
+
+let run_plan (cfg : config) ~baseline_cycles plan =
+  let rounds = List.init cfg.rounds (run_round cfg ~baseline_cycles plan) in
+  let verdict =
+    List.fold_left (fun a (r : round) -> max a r.verdict) Unaffected rounds
+  in
+  { plan; rounds; verdict }
+
+let run ?(plans = Plan.all) (cfg : config) =
+  let baseline_cycles = baseline cfg in
+  let plans = List.map (run_plan cfg ~baseline_cycles) plans in
+  {
+    queue = cfg.queue;
+    baseline_cycles;
+    plans;
+    verdict =
+      List.fold_left
+        (fun a (p : plan_report) -> max a p.verdict)
+        Unaffected plans;
+    safe =
+      List.for_all
+        (fun (p : plan_report) ->
+          List.for_all (fun (r : round) -> r.safety = Ok ()) p.rounds)
+        plans;
+  }
+
+(* Every queue in this repo blocks somewhere — MCS locks under the bins
+   and heaps, post-commit combining in the funnels — and none claims
+   lock-freedom, so a crash-stop is allowed to block it (that is the
+   finding, not a bug).  A future non-blocking queue listed here turns
+   crash-plan blockage into a gate failure too. *)
+let claimed_nonblocking (_queue : string) = false
+
+let gate r =
+  let problems = ref [] in
+  let add p = problems := p :: !problems in
+  if not r.safe then add (r.queue ^ ": safety violated under faults");
+  List.iter
+    (fun (pr : plan_report) ->
+      if pr.verdict = Blocked then begin
+        if Plan.finite pr.plan then
+          add
+            (Printf.sprintf
+               "%s: blocked under finite fault plan %S — the fault ends by \
+                itself, so this is a hang"
+               r.queue (Plan.name pr.plan));
+        if claimed_nonblocking r.queue then
+          add
+            (Printf.sprintf
+               "%s: claimed non-blocking but blocked under plan %S" r.queue
+               (Plan.name pr.plan))
+      end)
+    r.plans;
+  match List.rev !problems with [] -> Ok () | l -> Error l
+
+let pp_outcome ppf = function
+  | Completed c -> Format.fprintf ppf "completed in %d cycles" c
+  | Stuck msg -> Format.fprintf ppf "stuck: %s" msg
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s (baseline %d cycles)@." r.queue r.baseline_cycles;
+  List.iter
+    (fun pr ->
+      Format.fprintf ppf "  %-10s -> %-10s@." (Plan.name pr.plan)
+        (verdict_to_string pr.verdict);
+      List.iter
+        (fun rd ->
+          Format.fprintf ppf "    [%s] %a%s@." rd.trigger pp_outcome
+            rd.outcome
+            (match rd.safety with
+            | Ok () -> ""
+            | Error e -> " SAFETY: " ^ e))
+        pr.rounds)
+    r.plans

@@ -1,0 +1,89 @@
+(** The fault-injection driver: runs the coin-flip workload against one
+    queue under each fault plan and classifies how gracefully the queue
+    degrades.
+
+    Each round arms a {!Plan.t} into a scheduling policy, runs it with
+    the engine watchdog enabled (sized off a fault-free baseline of the
+    same workload, see {!Pqsim.Sim.run}), and re-checks element
+    conservation among the operations that survived the fault. *)
+
+type config = {
+  queue : string;
+  nprocs : int;
+  npriorities : int;
+  ops_per_proc : int;
+  seed : int;  (** workload seed — fixed across rounds of one report *)
+  rounds : int;  (** fault seeds per plan *)
+}
+
+val config :
+  ?nprocs:int ->
+  ?npriorities:int ->
+  ?ops_per_proc:int ->
+  ?seed:int ->
+  ?rounds:int ->
+  string ->
+  config
+(** defaults: 4 processors, 8 priorities, 6 ops/processor, seed 1,
+    3 rounds per plan. *)
+
+type outcome =
+  | Completed of int  (** cycle count *)
+  | Stuck of string  (** watchdog / deadlock / livelock diagnosis *)
+
+(** How the queue's progress responded to the fault; constructor order
+    carries severity, so [max] of two verdicts is the worse one. *)
+type verdict =
+  | Unaffected  (** completed within {!degraded_ratio} of the baseline *)
+  | Degraded  (** completed, but slower than that *)
+  | Blocked  (** the run never finished: the engine declared it stuck *)
+
+val verdict_to_string : verdict -> string
+
+type round = {
+  trigger : string;  (** human-readable injection point *)
+  outcome : outcome;
+  faulted : int list;  (** processors crash-stopped during the round *)
+  safety : (unit, string) result;  (** conservation among surviving ops *)
+  verdict : verdict;
+}
+
+type plan_report = {
+  plan : Plan.t;
+  rounds : round list;
+  verdict : verdict;  (** worst round *)
+}
+
+type report = {
+  queue : string;
+  baseline_cycles : int;  (** fault-free run of the same workload *)
+  plans : plan_report list;
+  verdict : verdict;  (** worst plan *)
+  safe : bool;  (** every round's safety check passed *)
+}
+
+exception Baseline_stuck of string
+(** the fault-free baseline itself failed — the queue is broken outright *)
+
+val degraded_ratio : float
+(** completion beyond [ratio * baseline] cycles counts as {!Degraded}. *)
+
+val baseline : config -> int
+(** cycle count of the fault-free workload; raises {!Baseline_stuck}. *)
+
+val run : ?plans:Plan.t list -> config -> report
+(** [run cfg] measures every plan (default {!Plan.all}) for
+    [cfg.rounds] deterministic fault seeds each. *)
+
+val claimed_nonblocking : string -> bool
+(** whether a queue claims to be non-blocking — every queue in this repo
+    blocks somewhere (MCS locks, post-commit combining), so crash-stop
+    blockage is a recorded finding rather than a gate failure. *)
+
+val gate : report -> (unit, string list) result
+(** the CI gate: failures are (a) any safety violation, (b) {!Blocked}
+    under a finite plan (the fault ends by itself, so blocking is a
+    hang), (c) {!Blocked} in a queue that {!claimed_nonblocking}. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,122 @@
+open Pqsim
+
+type t =
+  | Crash_random
+  | Crash_lock_holder
+  | Pause_resume of { pause : int }
+  | Slow_node of { node : int; factor : int }
+
+let default_pause = 60_000
+let default_slow_factor = 8
+
+let all =
+  [
+    Crash_random;
+    Crash_lock_holder;
+    Pause_resume { pause = default_pause };
+    Slow_node { node = 0; factor = default_slow_factor };
+  ]
+
+let name = function
+  | Crash_random -> "crash-one"
+  | Crash_lock_holder -> "crash-lock"
+  | Pause_resume _ -> "pause"
+  | Slow_node _ -> "slow-node"
+
+let describe = function
+  | Crash_random -> "crash-stop one processor at a random effect boundary"
+  | Crash_lock_holder ->
+      "crash-stop one processor right after one of its first atomic ops \
+       (typically a lock acquisition)"
+  | Pause_resume { pause } ->
+      Printf.sprintf "pause one processor for %d cycles, then resume it" pause
+  | Slow_node { node; factor } ->
+      Printf.sprintf "serve memory module %d %dx slower" node factor
+
+let of_string = function
+  | "crash-one" -> Ok Crash_random
+  | "crash-lock" -> Ok Crash_lock_holder
+  | "pause" -> Ok (Pause_resume { pause = default_pause })
+  | "slow-node" -> Ok (Slow_node { node = 0; factor = default_slow_factor })
+  | s ->
+      Error
+        (Printf.sprintf "unknown fault plan %S (crash-one|crash-lock|pause|slow-node)" s)
+
+(* a plan is finite when every injected fault ends by itself: a run that
+   fails to terminate under one is an engine or algorithm bug, never an
+   acceptable outcome *)
+let finite = function
+  | Crash_random | Crash_lock_holder -> false
+  | Pause_resume _ | Slow_node _ -> true
+
+type armed = { policy : Sched.t; victim : int option; trigger : string }
+
+let is_atomic = function
+  | Sched.Cas | Sched.Swap | Sched.Faa -> true
+  | Sched.Read | Sched.Write | Sched.Work | Sched.Wait -> false
+
+let arm plan ~seed ~nprocs =
+  let rng = Rng.make (seed lxor 0xfa017) in
+  match plan with
+  | Crash_random ->
+      let victim = Rng.int rng nprocs in
+      let at = 1 + Rng.int rng 300 in
+      let count = ref 0 in
+      let policy info =
+        if info.Sched.proc = victim then begin
+          incr count;
+          if !count = at then Sched.Stall_forever else Sched.run_
+        end
+        else Sched.run_
+      in
+      {
+        policy;
+        victim = Some victim;
+        trigger = Printf.sprintf "p%d crashes at its decision #%d" victim at;
+      }
+  | Crash_lock_holder ->
+      let victim = Rng.int rng nprocs in
+      let at = 1 + Rng.int rng 8 in
+      let count = ref 0 in
+      let policy info =
+        if info.Sched.proc = victim && is_atomic info.Sched.op then begin
+          incr count;
+          if !count = at then Sched.Stall_forever else Sched.run_
+        end
+        else Sched.run_
+      in
+      {
+        policy;
+        victim = Some victim;
+        trigger =
+          Printf.sprintf "p%d crashes completing its atomic op #%d" victim at;
+      }
+  | Pause_resume { pause } ->
+      let victim = Rng.int rng nprocs in
+      let at = 1 + Rng.int rng 150 in
+      let count = ref 0 in
+      let policy info =
+        if info.Sched.proc = victim then begin
+          incr count;
+          if !count = at then Sched.Pause pause else Sched.run_
+        end
+        else Sched.run_
+      in
+      {
+        policy;
+        victim = Some victim;
+        trigger =
+          Printf.sprintf "p%d pauses %d cycles at its decision #%d" victim
+            pause at;
+      }
+  | Slow_node { node; factor } ->
+      {
+        policy = Sched.fifo;
+        victim = None;
+        trigger = Printf.sprintf "module %d served %dx slower" node factor;
+      }
+
+let degrade plan mem =
+  match plan with
+  | Slow_node { node; factor } -> Mem.degrade_node mem ~node ~factor
+  | Crash_random | Crash_lock_holder | Pause_resume _ -> ()

@@ -10,9 +10,18 @@ let flag_elim_done = 4
    resume its collision phase instead of completing *)
 let flag_retry = 5
 
-(* location word states; values >= 0 mean "collidable at that layer" *)
+(* internal pseudo-flag (never stored in memory): the waiter abandoned a
+   captor that stalled before committing and reclaimed itself *)
+let flag_reclaimed = 6
+
+(* location word states; values >= 0 mean "collidable at that layer".
+   [locked] is tentative: the locker has not yet committed to the pairing
+   and the lockee may still reclaim itself (see [operate]).  [claimed] is
+   the commit point: a claimed record belongs to its captor until a
+   result flag is delivered. *)
 let idle = -2
 let locked = -1
+let claimed = -3
 
 type config = {
   levels : int;
@@ -156,9 +165,26 @@ let operate t ~sign ~opval ~homogeneous ~allow_elim ~eliminate ~try_central
              if Api.cas (loc_addr t q) ~expected:!d ~desired:locked then begin
                let qsum = Api.read (sum_addr t q) in
                let mysum = Api.read (sum_addr t me) in
-               if allow_elim && qsum + mysum = 0 then begin
+               (* Commit point: a lockee that timed out of its wait may
+                  have reclaimed itself (locked -> layer), so nothing of
+                  [q]'s record may be absorbed or written until this
+                  claim lands.  Keeping the tentative window this small
+                  is what lets waiters spin boundedly instead of
+                  forever. *)
+               if
+                 not
+                   (Api.cas (loc_addr t q) ~expected:locked ~desired:claimed)
+               then begin
+                 Api.write (loc_addr t me) !d;
+                 note_failure t me
+               end
+               else if allow_elim && qsum + mysum = 0 then begin
                  (* reversing operations of equal size: both trees finish
-                    without touching the central object *)
+                    without touching the central object.  Our own result
+                    now rides on the elimination partner, so mark
+                    ourselves committed first: the bounded waiting loop
+                    must not reclaim a record the partner will consume. *)
+                 Api.write (loc_addr t me) claimed;
                  note_success t me;
                  eliminate ~partner:q;
                  raise Done
@@ -209,17 +235,54 @@ let operate t ~sign ~opval ~homogeneous ~allow_elim ~eliminate ~try_central
       done
     with Done | Caught -> ()
   in
-  (* Wait for the result, then hand values down the combining tree
-     (lines 39-47).  Callbacks must read everything they need from a
-     subtree member before setting its flag.  A [flag_retry] result means
-     an incompatible collision bounced us back into the funnel. *)
-  let rec complete () =
+  (* Wait for the result with bounded patience.  A captor that locked us
+     but stalls (or crash-stops) before committing is abandoned: we take
+     ourselves back with a CAS on our own location word and resume
+     colliding — the graceful-degradation path under faults.  Once a
+     captor commits (claims us) the result is guaranteed unless the
+     captor itself dies, so after a failed reclaim we fall back to the
+     frugal watch-based wait and leave a dead captor to the engine's
+     watchdog, which reports it as a structured progress failure. *)
+  let wait_patience = 4 in
+  let wait_poll_gap = 32 in
+  let wait_result () =
+    let rec poll n =
+      let v = Api.read (flag_addr t me) in
+      if v <> flag_empty then v
+      else if n >= wait_patience then
+        if Api.cas (loc_addr t me) ~expected:locked ~desired:!d then
+          flag_reclaimed
+        else Api.await (flag_addr t me) ~until:(fun v -> v <> flag_empty)
+      else begin
+        Api.work wait_poll_gap;
+        poll (n + 1)
+      end
+    in
+    poll 0
+  in
+  (* Hand values down the combining tree (lines 39-47).  Callbacks must
+     read everything they need from a subtree member before setting its
+     flag.  A [flag_retry] result means an incompatible collision bounced
+     us back into the funnel; [flag_reclaimed] that we abandoned a
+     non-committing captor.  Rounds are bounded so an engine bug surfaces
+     as a diagnostic failure, never a silent infinite loop. *)
+  let max_rounds = 100_000 in
+  let rec complete rounds =
+    if rounds > max_rounds then
+      failwith
+        (Printf.sprintf
+           "Funnel.operate: p%d still unresolved after %d collision rounds \
+            (loc=%d flag=%d)"
+           me rounds
+           (Api.read (loc_addr t me))
+           (Api.read (flag_addr t me)));
     collision_phase ();
-    let flag = Api.await (flag_addr t me) ~until:(fun v -> v <> flag_empty) in
-    if flag = flag_retry then begin
+    let flag = wait_result () in
+    if flag = flag_reclaimed then complete (rounds + 1)
+    else if flag = flag_retry then begin
       Api.write (base + off_flag) flag_empty;
       Api.write (base + off_loc) !d;
-      complete ()
+      complete (rounds + 1)
     end
     else begin
       let value = Api.read (base + off_rval) in
@@ -229,4 +292,4 @@ let operate t ~sign ~opval ~homogeneous ~allow_elim ~eliminate ~try_central
       { flag; value }
     end
   in
-  complete ()
+  complete 0

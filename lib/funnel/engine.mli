@@ -26,7 +26,19 @@
 
     This module owns the layer machinery, per-processor funnel records and
     the wait/distribute phases; the central-object semantics live in
-    {!Fcounter} and {!Fstack}. *)
+    {!Fcounter} and {!Fstack}.
+
+    {b Hang-proofing.}  Collisions commit in two phases: locking a
+    partner's location word is tentative, and nothing of the partner's
+    record is absorbed or written until a second CAS {e claims} it.  A
+    waiter whose captor stalls (or crash-stops) before claiming spins
+    only boundedly, then reclaims itself with a CAS on its own location
+    word and resumes colliding — so a crashed peer degrades throughput
+    instead of stranding its partner.  Once claimed, a waiter's result is
+    owed by its captor; if that captor dies the engine watchdog (see
+    {!Pqsim.Sim.run}) reports a structured progress failure.  All waiting
+    loops are iteration-bounded and fail with a diagnostic rather than
+    spinning silently forever. *)
 
 type t
 

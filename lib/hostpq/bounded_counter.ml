@@ -1,31 +1,42 @@
-type t = { v : int Atomic.t; floor : int option; ceil : int option }
+type t = {
+  v : int Atomic.t;
+  floor : int option;
+  ceil : int option;
+  max_attempts : int;
+}
 
-let create ?floor ?ceil init =
+let create ?floor ?ceil ?(max_attempts = max_int) init =
   (match (floor, ceil) with
   | Some f, Some c when f > c -> invalid_arg "Bounded_counter.create"
   | _ -> ());
-  { v = Atomic.make init; floor; ceil }
+  { v = Atomic.make init; floor; ceil; max_attempts }
 
 let get t = Atomic.get t.v
 
-let rec bounded t ~stop ~delta =
-  let old = Atomic.get t.v in
-  if stop old then old
-  else if Atomic.compare_and_set t.v old (old + delta) then old
-  else begin
-    Domain.cpu_relax ();
-    bounded t ~stop ~delta
-  end
+let bounded t ~op ~stop ~delta =
+  let b = Retry.start ~max_attempts:t.max_attempts op in
+  let rec go () =
+    let old = Atomic.get t.v in
+    if stop old then old
+    else if Atomic.compare_and_set t.v old (old + delta) then old
+    else begin
+      Retry.once b;
+      go ()
+    end
+  in
+  go ()
 
 let inc t =
   match t.ceil with
   | None -> Atomic.fetch_and_add t.v 1
-  | Some b -> bounded t ~stop:(fun v -> v >= b) ~delta:1
+  | Some b ->
+      bounded t ~op:"Bounded_counter.inc" ~stop:(fun v -> v >= b) ~delta:1
 
 let dec t =
   match t.floor with
   | None -> Atomic.fetch_and_add t.v (-1)
-  | Some b -> bounded t ~stop:(fun v -> v <= b) ~delta:(-1)
+  | Some b ->
+      bounded t ~op:"Bounded_counter.dec" ~stop:(fun v -> v <= b) ~delta:(-1)
 
 let add t d =
   if t.floor <> None || t.ceil <> None then

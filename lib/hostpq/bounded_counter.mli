@@ -2,11 +2,15 @@
     host analogue of the paper's Figure 1 counter.  Operations clamp at
     the configured bounds and always return the pre-operation value, so
     callers distinguish "applied" from "clamped" by comparing the return
-    value against the bound. *)
+    value against the bound.
+
+    The bounded paths are CAS loops; retries back off exponentially
+    ({!Retry}) and [max_attempts] (default: never) turns a loop that
+    cannot win into {!Retry.Gave_up}. *)
 
 type t
 
-val create : ?floor:int -> ?ceil:int -> int -> t
+val create : ?floor:int -> ?ceil:int -> ?max_attempts:int -> int -> t
 val get : t -> int
 
 val inc : t -> int

@@ -4,13 +4,15 @@ type 'a t = {
   top : 'a list Atomic.t;
   slots : 'a slot Atomic.t array;
   rng_key : int;
+  max_attempts : int;
 }
 
-let create ?(slots = 8) () =
+let create ?(slots = 8) ?(max_attempts = max_int) () =
   {
     top = Atomic.make [];
     slots = Array.init (max 1 slots) (fun _ -> Atomic.make Empty);
     rng_key = Random.bits ();
+    max_attempts;
   }
 
 (* cheap per-domain pseudo-random slot choice; quality is irrelevant *)
@@ -21,7 +23,11 @@ let pick t =
 
 let spins = 64
 
-let rec push t v =
+let rec push_retry b t v =
+  Retry.once b;
+  push_attempt b t v
+
+and push_attempt b t v =
   let cur = Atomic.get t.top in
   if Atomic.compare_and_set t.top cur (v :: cur) then ()
   else begin
@@ -31,7 +37,7 @@ let rec push t v =
       let rec wait i =
         if Atomic.get s = Taken then Atomic.set s Empty (* consumed *)
         else if i = 0 then
-          if Atomic.compare_and_set s (Parked v) Empty then push t v
+          if Atomic.compare_and_set s (Parked v) Empty then push_retry b t v
             (* withdrew unconsumed: retry on the stack *)
           else Atomic.set s Empty (* a pop took it at the last moment *)
         else begin
@@ -41,11 +47,13 @@ let rec push t v =
       in
       wait spins
     end
-    else begin
-      Domain.cpu_relax ();
-      push t v
-    end
+    else push_retry b t v
   end
+
+let push t v =
+  push_attempt
+    (Retry.start ~max_attempts:t.max_attempts "Elim_stack.push")
+    t v
 
 let try_steal t =
   let s = t.slots.(pick t) in
@@ -53,7 +61,7 @@ let try_steal t =
   | Parked v when Atomic.compare_and_set s (Parked v) Taken -> Some v
   | Parked _ | Empty | Taken -> None
 
-let rec pop t =
+let rec pop_attempt b t =
   match Atomic.get t.top with
   | [] -> try_steal t (* the stack looks empty; a parked push still counts *)
   | v :: rest as cur ->
@@ -62,9 +70,12 @@ let rec pop t =
         match try_steal t with
         | Some _ as r -> r
         | None ->
-            Domain.cpu_relax ();
-            pop t
+            Retry.once b;
+            pop_attempt b t
       end
+
+let pop t =
+  pop_attempt (Retry.start ~max_attempts:t.max_attempts "Elim_stack.pop") t
 
 let is_empty t = Atomic.get t.top = []
 let length t = List.length (Atomic.get t.top)

@@ -5,11 +5,16 @@
     under contention a failing push parks its value in a random slot of
     the elimination array where a concurrent pop can consume it, so
     reversing pairs complete without ever agreeing on the top pointer.
-    ABA-safe because the stack spine is an immutable OCaml list. *)
+    ABA-safe because the stack spine is an immutable OCaml list.
+
+    Retries back off exponentially ({!Retry}); [max_attempts] bounds the
+    attempts of any one [push]/[pop] and raises {!Retry.Gave_up} past
+    it, so a stalled or crashed peer degrades throughput instead of
+    wedging callers silently.  The default never gives up. *)
 
 type 'a t
 
-val create : ?slots:int -> unit -> 'a t
+val create : ?slots:int -> ?max_attempts:int -> unit -> 'a t
 val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a option
 val is_empty : 'a t -> bool

@@ -1,0 +1,24 @@
+exception Gave_up of { op : string; attempts : int }
+
+type t = {
+  op : string;
+  max_attempts : int;
+  mutable attempts : int;
+  mutable spin : int;
+}
+
+let max_spin = 1 lsl 10
+
+let start ?(max_attempts = max_int) op =
+  { op; max_attempts; attempts = 0; spin = 1 }
+
+let once t =
+  t.attempts <- t.attempts + 1;
+  if t.attempts >= t.max_attempts then
+    raise (Gave_up { op = t.op; attempts = t.attempts });
+  for _ = 1 to t.spin do
+    Domain.cpu_relax ()
+  done;
+  if t.spin < max_spin then t.spin <- t.spin * 2
+
+let attempts t = t.attempts

@@ -1,0 +1,23 @@
+(** Bounded retry with exponential backoff for host-side CAS loops.
+
+    Every optimistic loop in this library creates one [t] per operation
+    and calls {!once} before each retry: failed attempts back off
+    exponentially (capped), so contended loops yield the core instead of
+    hammering the line, and a configured attempt budget turns a loop
+    that cannot win — a livelock, or a peer stalled at just the wrong
+    time — into a diagnosable {!Gave_up} instead of a silent hang.  The
+    default budget is effectively unbounded. *)
+
+exception Gave_up of { op : string; attempts : int }
+
+type t
+
+val start : ?max_attempts:int -> string -> t
+(** [start op] begins an operation's retry budget; [op] names it in
+    {!Gave_up}.  [max_attempts] defaults to [max_int] (never give up). *)
+
+val once : t -> unit
+(** record a failed attempt: raise {!Gave_up} past the budget, otherwise
+    spin briefly (exponentially longer each time, capped). *)
+
+val attempts : t -> int

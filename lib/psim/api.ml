@@ -13,6 +13,7 @@ let self () = Effect.perform Sim.Self
 let rand n = Effect.perform (Sim.Rand n)
 let flip () = Effect.perform Sim.Flip
 let record key v = Effect.perform (Sim.Record (key, v))
+let progress () = Effect.perform Sim.Progress
 
 let await addr ~until =
   let rec go v = if until v then v else go (wait_change addr v) in

@@ -37,5 +37,9 @@ val rand : int -> int
 val flip : unit -> bool
 val record : string -> int -> unit
 
+val progress : unit -> unit
+(** mark the completion of a high-level operation; feeds {!Sim.run}'s
+    watchdog.  A no-op unless the run enables one. *)
+
 val timed : string -> (unit -> 'a) -> 'a
 (** [timed key f] runs [f] and records its latency in cycles under [key]. *)

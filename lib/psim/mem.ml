@@ -11,6 +11,8 @@ type t = {
   mutable updates : int;
   mutable queue_wait : int;
   wait_by_line : (int, int) Hashtbl.t;
+  writer_by_line : (int, int) Hashtbl.t;
+  node_factor : int array; (* per memory module service-time multiplier *)
 }
 
 let create machine =
@@ -27,6 +29,8 @@ let create machine =
     updates = 0;
     queue_wait = 0;
     wait_by_line = Hashtbl.create 64;
+    writer_by_line = Hashtbl.create 64;
+    node_factor = Array.make machine.Machine.mem_modules 1;
   }
 
 let machine t = t.machine
@@ -79,14 +83,22 @@ let watch t ~addr ~wake =
   | None -> Hashtbl.add t.watchers addr (ref [ wake ])
   | Some waiters -> waiters := wake :: !waiters
 
+let degrade_node t ~node ~factor =
+  if factor < 1 then invalid_arg "Mem.degrade_node: factor must be >= 1";
+  t.node_factor.(node mod Array.length t.node_factor) <- factor
+
+let node_factor t addr = t.node_factor.(Machine.home_module t.machine addr)
+
 let miss_latency t ~proc ~addr =
   let m = t.machine in
-  m.Machine.miss_base + (m.Machine.hop_cost * Machine.hops m ~proc ~line:addr)
+  node_factor t addr
+  * (m.Machine.miss_base + (m.Machine.hop_cost * Machine.hops m ~proc ~line:addr))
 
 (* Begin service of an op needing the line's directory: queue behind any
    in-flight exclusive service, then occupy it for [occ] cycles.  Returns the
    time service ends. *)
 let serve t ~now ~addr ~occ =
+  let occ = occ * node_factor t addr in
   let start = if t.busy.(addr) > now then t.busy.(addr) else now in
   let waited = start - now in
   t.queue_wait <- t.queue_wait + waited;
@@ -113,6 +125,7 @@ let read t ~proc ~now addr =
 
 let update t ~proc ~now ~addr ~occ f =
   t.updates <- t.updates + 1;
+  Hashtbl.replace t.writer_by_line addr proc;
   let served = serve t ~now ~addr ~occ in
   let old = t.data.(addr) in
   let v = f old in
@@ -147,6 +160,8 @@ let cas t ~proc ~now addr ~expected ~desired =
 let faa t ~proc ~now addr delta =
   update t ~proc ~now ~addr ~occ:t.machine.Machine.atomic_occupancy (fun old ->
       old + delta)
+
+let last_writer t addr = Hashtbl.find_opt t.writer_by_line addr
 
 let hits t = t.hits
 let misses t = t.misses

@@ -41,6 +41,12 @@ val poke : t -> int -> int -> unit
 
 val words_allocated : t -> int
 
+val degrade_node : t -> node:int -> factor:int -> unit
+(** [degrade_node t ~node ~factor] makes memory module [node] serve every
+    request [factor] times slower (occupancy and miss latency alike) —
+    a fault-injection knob modelling a failing or thermally throttled
+    node.  Lines homed on other modules are unaffected. *)
+
 (** {1 Costed operations (engine only)} *)
 
 val read : t -> proc:int -> now:int -> int -> int * int
@@ -79,3 +85,9 @@ val queue_wait : t -> int
 val hot_lines : t -> int -> (int * int) list
 (** [hot_lines t k]: the [k] addresses with the most accumulated queueing
     delay, hottest first — a hot-spot profile of the run *)
+
+val last_writer : t -> int -> int option
+(** [last_writer t addr] is the processor whose write/atomic most recently
+    touched [addr] ([None] if only host-side pokes did) — used by the
+    engine's progress diagnosis to name the processor a blocked peer is
+    waiting on. *)

@@ -15,6 +15,11 @@ val split : t -> int -> t
 (** [split t i] derives an independent generator for stream [i]; used to give
     each simulated processor its own stream. *)
 
+val next64 : t -> int64
+(** [next64 t] returns the raw 64-bit splitmix64 output.  [make 0] yields
+    the reference stream of splitmix64 seeded with 0, which the test
+    suite pins against published known-answer vectors. *)
+
 val next : t -> int
 (** [next t] returns a uniformly distributed non-negative int (62 bits). *)
 

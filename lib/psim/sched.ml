@@ -2,7 +2,9 @@ type op = Read | Write | Swap | Cas | Faa | Work | Wait
 
 type info = { proc : int; time : int; step : int; op : op }
 type decision = { delay : int; weight : int }
-type t = info -> decision
+type verdict = Run of decision | Pause of int | Stall_forever
+type t = info -> verdict
 
 let continue_ = { delay = 0; weight = 0 }
-let fifo : t = fun _ -> continue_
+let run_ = Run continue_
+let fifo : t = fun _ -> run_

@@ -12,14 +12,20 @@
     - {b tie-breaking}: the policy assigns a weight; events scheduled
       for the same cycle fire in increasing weight order (scheduling
       order breaks remaining ties), so same-cycle races become policy
-      decisions instead of fixed FIFO order.
+      decisions instead of fixed FIFO order;
+    - {b fault injection}: the policy may {!Pause} the processor for an
+      unbounded stretch, or {!Stall_forever} crash-stop it — the memory
+      operation whose completion was being scheduled has already taken
+      effect, so a processor crashed right after acquiring a lock holds
+      it forever, exactly the failure the paper's blocking algorithms
+      cannot survive.
 
     Policies are ordinary closures and may carry state (random streams,
     priority tables, recorded traces).  The engine consults the policy
     in a deterministic order, so a stateful policy still yields
     bit-for-bit reproducible runs.  {!Pqexplore} builds schedule
     exploration (fuzzing, PCT, bounded exhaustive search) on top of
-    this hook. *)
+    this hook; {!Pqfault} builds crash/pause fault plans on it. *)
 
 (** the kind of operation whose completion is being scheduled *)
 type op = Read | Write | Swap | Cas | Faa | Work | Wait
@@ -36,11 +42,23 @@ type decision = {
   weight : int;  (** tie-break rank among same-cycle events (lower first) *)
 }
 
-type t = info -> decision
+type verdict =
+  | Run of decision  (** resume, possibly delayed / re-ranked *)
+  | Pause of int
+      (** stall this processor for the given number of cycles (may be
+          arbitrarily large) and then resume undisturbed *)
+  | Stall_forever
+      (** crash-stop: the processor never takes another step.  Its last
+          memory operation has already been applied. *)
+
+type t = info -> verdict
 
 val continue_ : decision
 (** [{ delay = 0; weight = 0 }] — proceed undisturbed. *)
 
+val run_ : verdict
+(** [Run continue_] — the always-benign verdict. *)
+
 val fifo : t
-(** the default policy: never delays, never re-ranks; with it the engine
-    behaves exactly as it did before policies existed. *)
+(** the default policy: never delays, never re-ranks, never faults; with
+    it the engine behaves exactly as it did before policies existed. *)

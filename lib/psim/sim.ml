@@ -11,9 +11,52 @@ type _ Effect.t +=
   | Rand : int -> int Effect.t
   | Flip : bool Effect.t
   | Record : (string * int) -> unit Effect.t
+  | Progress : unit Effect.t
 
 exception Deadlock of string
 exception Cycle_limit of int
+exception Spin_limit of { proc : int; addr : int; wakeups : int }
+
+type diagnosis = {
+  at_cycle : int;
+  stalled_for : int;
+  reason : string;
+  faulted : int list;
+  parked : (int * int) list;
+  spinning : (int * Sched.op * int) list;
+  writers : (int * int) list;
+}
+
+exception Progress_failure of diagnosis
+
+let op_name = function
+  | Sched.Read -> "read"
+  | Sched.Write -> "write"
+  | Sched.Swap -> "swap"
+  | Sched.Cas -> "cas"
+  | Sched.Faa -> "faa"
+  | Sched.Work -> "work"
+  | Sched.Wait -> "wait"
+
+let pp_diagnosis ppf d =
+  Format.fprintf ppf "no progress for %d cycles at cycle %d (%s)@."
+    d.stalled_for d.at_cycle d.reason;
+  if d.faulted <> [] then
+    Format.fprintf ppf "  faulted processors: %s@."
+      (String.concat ", " (List.map (Printf.sprintf "p%d") d.faulted));
+  List.iter
+    (fun (p, a) -> Format.fprintf ppf "  p%d parked on line %d@." p a)
+    d.parked;
+  List.iter
+    (fun (p, op, a) ->
+      if a >= 0 then
+        Format.fprintf ppf "  p%d spinning, last op %s on line %d@." p
+          (op_name op) a
+      else Format.fprintf ppf "  p%d spinning, last op %s@." p (op_name op))
+    d.spinning;
+  List.iter
+    (fun (a, w) -> Format.fprintf ppf "  line %d last written by p%d@." a w)
+    d.writers
 
 type result = {
   cycles : int;
@@ -23,10 +66,15 @@ type result = {
   misses : int;
   updates : int;
   queue_wait : int;
+  faulted : int list;
 }
 
+(* engine-side view of each processor, for the progress diagnosis *)
+type pstate = Running | Parked of int | Crashed | Done
+
 let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
-    ?(max_cycles = 2_000_000_000) ~nprocs ~setup ~program () =
+    ?(max_cycles = 2_000_000_000) ?watchdog ?(max_wait_wakeups = 1_000_000)
+    ~nprocs ~setup ~program () =
   let machine =
     match machine with Some m -> m | None -> Machine.make ~nprocs ()
   in
@@ -37,40 +85,97 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
   let master = Rng.make seed in
   let rngs = Array.init nprocs (Rng.split master) in
   let ptime = Array.make nprocs 0 in
+  let state = Array.make nprocs Running in
+  let last_access = Array.make nprocs (Sched.Work, -1) in
   let running = ref nprocs in
+  let faulted = ref 0 in
   let clock = ref 0 in
   let step = ref 0 in
+  let last_progress = ref 0 in
+  let faulted_list () =
+    List.filteri (fun p _ -> state.(p) = Crashed) (List.init nprocs Fun.id)
+  in
+  let diagnose reason =
+    let parked = ref [] and spinning = ref [] in
+    Array.iteri
+      (fun p s ->
+        match s with
+        | Parked addr -> parked := (p, addr) :: !parked
+        | Running ->
+            let op, addr = last_access.(p) in
+            spinning := (p, op, addr) :: !spinning
+        | Crashed | Done -> ())
+      state;
+    let addrs =
+      List.sort_uniq compare
+        (List.map snd !parked
+        @ List.filter_map
+            (fun (_, _, a) -> if a >= 0 then Some a else None)
+            !spinning)
+    in
+    let writers =
+      List.filter_map
+        (fun a -> Option.map (fun w -> (a, w)) (Mem.last_writer mem a))
+        addrs
+    in
+    {
+      at_cycle = !clock;
+      stalled_for = !clock - !last_progress;
+      reason;
+      faulted = faulted_list ();
+      parked = List.rev !parked;
+      spinning = List.rev !spinning;
+      writers;
+    }
+  in
+  let crash pid =
+    (* the operation itself has been applied; only the continuation dies *)
+    state.(pid) <- Crashed;
+    incr faulted
+  in
   let handler pid : (unit, unit) Effect.Deep.handler =
     let open Effect.Deep in
     let resume_at : type a. Sched.op -> int -> (a, unit) continuation -> a -> unit =
      fun op time k v ->
-      let d = policy { Sched.proc = pid; time; step = !step; op } in
+      let verdict = policy { Sched.proc = pid; time; step = !step; op } in
       incr step;
-      let time = time + max 0 d.Sched.delay in
-      Evq.push q ~time ~weight:d.Sched.weight (fun () ->
-          ptime.(pid) <- time;
-          continue k v)
+      match verdict with
+      | Sched.Stall_forever -> crash pid
+      | Sched.Pause n ->
+          let time = time + max 0 n in
+          Evq.push q ~time (fun () ->
+              ptime.(pid) <- time;
+              continue k v)
+      | Sched.Run d ->
+          let time = time + max 0 d.Sched.delay in
+          Evq.push q ~time ~weight:d.Sched.weight (fun () ->
+              ptime.(pid) <- time;
+              continue k v)
     in
     let effc : type b. b Effect.t -> ((b, unit) continuation -> unit) option =
       function
       | Read addr ->
           Some
             (fun k ->
+              last_access.(pid) <- (Sched.Read, addr);
               let t, v = Mem.read mem ~proc:pid ~now:ptime.(pid) addr in
               resume_at Sched.Read t k v)
       | Write (addr, v) ->
           Some
             (fun k ->
+              last_access.(pid) <- (Sched.Write, addr);
               let t = Mem.write mem ~proc:pid ~now:ptime.(pid) addr v in
               resume_at Sched.Write t k ())
       | Swap (addr, v) ->
           Some
             (fun k ->
+              last_access.(pid) <- (Sched.Swap, addr);
               let t, old = Mem.swap mem ~proc:pid ~now:ptime.(pid) addr v in
               resume_at Sched.Swap t k old)
       | Cas (addr, expected, desired) ->
           Some
             (fun k ->
+              last_access.(pid) <- (Sched.Cas, addr);
               let t, ok =
                 Mem.cas mem ~proc:pid ~now:ptime.(pid) addr ~expected ~desired
               in
@@ -78,6 +183,7 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
       | Faa (addr, d) ->
           Some
             (fun k ->
+              last_access.(pid) <- (Sched.Faa, addr);
               let t, old = Mem.faa mem ~proc:pid ~now:ptime.(pid) addr d in
               resume_at Sched.Faa t k old)
       | Work n ->
@@ -88,22 +194,42 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
       | Wait_change (addr, v0) ->
           Some
             (fun k ->
+              last_access.(pid) <- (Sched.Wait, addr);
+              let wakeups = ref 0 in
               let rec attempt now =
+                if !wakeups > max_wait_wakeups then
+                  raise
+                    (Spin_limit { proc = pid; addr; wakeups = !wakeups });
+                incr wakeups;
                 let t, _ = Mem.read mem ~proc:pid ~now addr in
-                let d = policy { Sched.proc = pid; time = t; step = !step; op = Sched.Wait } in
+                let verdict =
+                  policy
+                    { Sched.proc = pid; time = t; step = !step; op = Sched.Wait }
+                in
                 incr step;
-                let t = t + max 0 d.Sched.delay in
-                Evq.push q ~time:t ~weight:d.Sched.weight (fun () ->
-                    (* check and (if needed) arm the watcher inside one
-                       event, so no write can slip between them *)
-                    let current = Mem.peek mem addr in
-                    if current <> v0 then begin
-                      ptime.(pid) <- t;
-                      continue k current
-                    end
-                    else
-                      Mem.watch mem ~addr ~wake:(fun change ->
-                          attempt (if change > t then change else t)))
+                match verdict with
+                | Sched.Stall_forever -> crash pid
+                | Sched.Pause _ | Sched.Run _ ->
+                    let t, weight =
+                      match verdict with
+                      | Sched.Pause n -> (t + max 0 n, 0)
+                      | Sched.Run d -> (t + max 0 d.Sched.delay, d.Sched.weight)
+                      | Sched.Stall_forever -> assert false
+                    in
+                    Evq.push q ~time:t ~weight (fun () ->
+                        (* check and (if needed) arm the watcher inside one
+                           event, so no write can slip between them *)
+                        let current = Mem.peek mem addr in
+                        if current <> v0 then begin
+                          ptime.(pid) <- t;
+                          state.(pid) <- Running;
+                          continue k current
+                        end
+                        else begin
+                          state.(pid) <- Parked addr;
+                          Mem.watch mem ~addr ~wake:(fun change ->
+                              attempt (if change > t then change else t))
+                        end)
               in
               attempt ptime.(pid))
       | Now -> Some (fun k -> continue k ptime.(pid))
@@ -115,24 +241,43 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
             (fun k ->
               Stats.record stats key v;
               continue k ())
+      | Progress ->
+          Some
+            (fun k ->
+              last_progress := max !last_progress ptime.(pid);
+              continue k ())
       | _ -> None
     in
-    { retc = (fun () -> decr running); exnc = raise; effc }
+    {
+      retc =
+        (fun () ->
+          state.(pid) <- Done;
+          decr running);
+      exnc = raise;
+      effc;
+    }
   in
   for pid = 0 to nprocs - 1 do
     Effect.Deep.match_with (fun () -> program shared pid) () (handler pid)
   done;
   let rec loop () =
-    if !running > 0 then
+    if !running > !faulted then
       match Evq.pop q with
       | None ->
-          raise
-            (Deadlock
-               (Printf.sprintf "%d processors blocked at cycle %d" !running
-                  !clock))
+          if watchdog <> None || !faulted > 0 then
+            raise (Progress_failure (diagnose "event queue drained"))
+          else
+            raise
+              (Deadlock
+                 (Printf.sprintf "%d processors blocked at cycle %d" !running
+                    !clock))
       | Some (t, fire) ->
           if t > max_cycles then raise (Cycle_limit t);
           clock := t;
+          (match watchdog with
+          | Some k when t - !last_progress > k ->
+              raise (Progress_failure (diagnose "watchdog expired"))
+          | _ -> ());
           fire ();
           loop ()
   in
@@ -146,4 +291,5 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
       misses = Mem.misses mem;
       updates = Mem.updates mem;
       queue_wait = Mem.queue_wait mem;
+      faulted = faulted_list ();
     } )

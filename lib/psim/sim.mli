@@ -8,8 +8,9 @@
     scheduling order; per-processor RNG streams derived from the run seed).
 
     Processor code must not leak continuations: a processor either runs to
-    completion or blocks forever (which the engine reports as {!Deadlock}
-    once no event remains). *)
+    completion, blocks forever (which the engine reports as {!Deadlock} or
+    {!Progress_failure} once no event remains), or is crash-stopped by a
+    fault-injecting policy ({!Sched.Stall_forever}). *)
 
 type _ Effect.t +=
   | Read : int -> int Effect.t
@@ -26,21 +27,53 @@ type _ Effect.t +=
   | Rand : int -> int Effect.t
   | Flip : bool Effect.t
   | Record : (string * int) -> unit Effect.t
+  | Progress : unit Effect.t
+      (** operation-completion marker: feeds the watchdog.  Workloads
+          perform it after every finished high-level operation. *)
 
 exception Deadlock of string
-(** raised when runnable processors remain but no event is pending *)
+(** raised when runnable processors remain but no event is pending and no
+    fault was injected (legacy, fault-free runs) *)
 
 exception Cycle_limit of int
 (** raised when simulated time exceeds [max_cycles] *)
 
+exception Spin_limit of { proc : int; addr : int; wakeups : int }
+(** raised when a single [Wait_change] is woken more than
+    [max_wait_wakeups] times without its condition holding — a livelock
+    diagnostic instead of a silent infinite loop *)
+
+(** What the engine knew when it declared the run stuck: which processors
+    had crashed, which were parked on a cache line waiting for a write
+    that will never come, which were still spinning (and on what), and
+    who last wrote each implicated line — typically the crashed lock
+    holder. *)
+type diagnosis = {
+  at_cycle : int;
+  stalled_for : int;  (** cycles since the last completed operation *)
+  reason : string;  (** "watchdog expired" or "event queue drained" *)
+  faulted : int list;
+  parked : (int * int) list;  (** processor, line it waits on *)
+  spinning : (int * Sched.op * int) list;
+      (** processor, last op kind, last line touched (-1 = none) *)
+  writers : (int * int) list;  (** implicated line, last writer *)
+}
+
+exception Progress_failure of diagnosis
+(** raised (with [~watchdog] set, or whenever a fault was injected) in
+    place of looping forever or of the bare {!Deadlock} *)
+
+val pp_diagnosis : Format.formatter -> diagnosis -> unit
+
 type result = {
-  cycles : int;  (** cycle count when the last processor finished *)
+  cycles : int;  (** cycle count when the last live processor finished *)
   stats : Stats.t;  (** samples recorded via the [Record] effect *)
   mem : Mem.t;  (** final memory, for post-run verification *)
   hits : int;
   misses : int;
   updates : int;
   queue_wait : int;
+  faulted : int list;  (** processors crash-stopped by the policy *)
 }
 
 val run :
@@ -48,6 +81,8 @@ val run :
   ?seed:int ->
   ?policy:Sched.t ->
   ?max_cycles:int ->
+  ?watchdog:int ->
+  ?max_wait_wakeups:int ->
   nprocs:int ->
   setup:(Mem.t -> 'a) ->
   program:('a -> int -> unit) ->
@@ -55,10 +90,18 @@ val run :
   'a * result
 (** [run ~nprocs ~setup ~program ()] allocates shared structures with
     [setup] (host-side, cycle 0), then runs [program shared pid] on each of
-    the [nprocs] simulated processors until all finish.
+    the [nprocs] simulated processors until all non-crashed processors
+    finish.
 
     [policy] (default {!Sched.fifo}) is consulted at every effect
-    boundary and may inject bounded stalls or re-rank same-cycle events
-    — the hook {!Pqexplore} uses to turn the scheduler into an
-    adversary.  With the default policy, runs are bit-for-bit identical
-    to the engine without the hook. *)
+    boundary and may inject bounded stalls, re-rank same-cycle events,
+    pause a processor for an unbounded stretch or crash-stop it — the
+    hooks {!Pqexplore} and {!Pqfault} build on.  With the default
+    policy, runs are bit-for-bit identical to the engine without the
+    hook.
+
+    [watchdog] (off by default) aborts the run with {!Progress_failure}
+    when no operation completes (no {!Progress} effect is performed) for
+    that many cycles — turning a global deadlock or livelock into a
+    structured verdict.  [max_wait_wakeups] (default 1e6) bounds the
+    wakeups of any single [Wait_change] ({!Spin_limit} beyond it). *)

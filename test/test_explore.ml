@@ -76,10 +76,15 @@ let test_pct_ranks_procs () =
   let p = Policy.pct ~seed:2 ~nprocs:3 ~quantum:10 () in
   let ds =
     List.init 30 (fun step ->
-        let d =
-          p { Pqsim.Sched.proc = step mod 3; time = 0; step = step + 1000; op = Read }
+        let delay =
+          match
+            p { Pqsim.Sched.proc = step mod 3; time = 0; step = step + 1000; op = Read }
+          with
+          | Pqsim.Sched.Run d -> d.Pqsim.Sched.delay
+          | Pqsim.Sched.Pause n -> n
+          | Pqsim.Sched.Stall_forever -> max_int
         in
-        (step mod 3, d.Pqsim.Sched.delay))
+        (step mod 3, delay))
   in
   let delays_of p = List.filter_map (fun (q, d) -> if q = p then Some d else None) ds in
   let per_proc = List.init 3 delays_of in
@@ -141,6 +146,25 @@ let test_shrink_greedy_minimizes () =
   check_bool "delay minimized toward the threshold" true
     ((Schedule.decision s 7).Pqsim.Sched.delay < 100);
   check_bool "spent runs" true (runs > 0)
+
+let test_shrink_idempotent () =
+  (* a shrunk schedule is a fixpoint: shrinking it again changes nothing *)
+  let noisy =
+    {
+      Schedule.seed = 9;
+      decisions =
+        Array.init 48 (fun i ->
+            { Pqsim.Sched.delay = 200 + i; weight = (i * 7) mod 5 });
+    }
+  in
+  let violates (s : Schedule.t) =
+    (Schedule.decision s 11).Pqsim.Sched.delay >= 32
+  in
+  let s1, _ = Shrink.shrink ~violates noisy in
+  check_bool "shrunk schedule still violates" true (violates s1);
+  let s2, _ = Shrink.shrink ~violates s1 in
+  check_bool "second shrink still violates" true (violates s2);
+  check_bool "second shrink is a fixpoint" true (s1 = s2)
 
 let test_shrunk_witness_still_violates () =
   (* end-to-end: find a real linearizability violation on SimpleLinear,
@@ -222,6 +246,7 @@ let () =
         [
           Alcotest.test_case "greedy minimization" `Quick
             test_shrink_greedy_minimizes;
+          Alcotest.test_case "shrink idempotent" `Quick test_shrink_idempotent;
           Alcotest.test_case "shrunk witness reproduces" `Quick
             test_shrunk_witness_still_violates;
         ] );

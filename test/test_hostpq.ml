@@ -227,6 +227,72 @@ let test_stack_concurrent_conservation () =
     "conservation" (sorted pushed)
     (sorted (popped @ remaining))
 
+let test_stack_randomized_pause_stress () =
+  (* domains stall at random points — mid-push, mid-pop, while parked in
+     the elimination array — simulating preemption by the OS scheduler.
+     Conservation must hold, and nobody may hang or give up under the
+     default (unbounded) retry budget. *)
+  let s = Hostpq.Elim_stack.create ~slots:2 () in
+  let ndomains = 4 and iters = 2_000 in
+  let worker d () =
+    let rng = Random.State.make [| d; 31 |] in
+    let pushed = ref [] and popped = ref [] in
+    for i = 1 to iters do
+      (if Random.State.int rng 100 < 2 then
+         Unix.sleepf (float_of_int (Random.State.int rng 3) /. 10_000.)
+       else
+         for _ = 1 to Random.State.int rng 50 do
+           Domain.cpu_relax ()
+         done);
+      if Random.State.bool rng then begin
+        let v = (d * 1_000_000) + i in
+        Hostpq.Elim_stack.push s v;
+        pushed := v :: !pushed
+      end
+      else
+        match Hostpq.Elim_stack.pop s with
+        | Some v -> popped := v :: !popped
+        | None -> ()
+    done;
+    (!pushed, !popped)
+  in
+  let results =
+    List.init ndomains (fun d -> Domain.spawn (worker d))
+    |> List.map Domain.join
+  in
+  let pushed = List.concat_map fst results in
+  let popped = List.concat_map snd results in
+  let rec drain acc =
+    match Hostpq.Elim_stack.pop s with
+    | Some v -> drain (v :: acc)
+    | None -> acc
+  in
+  let sorted = List.sort compare in
+  Alcotest.(check (list int))
+    "conservation under randomized pauses" (sorted pushed)
+    (sorted (popped @ drain []))
+
+(* ------------------------------------------------------------------ *)
+(* retry budget *)
+
+let test_retry_gives_up_on_budget () =
+  let b = Hostpq.Retry.start ~max_attempts:3 "unit" in
+  Hostpq.Retry.once b;
+  Hostpq.Retry.once b;
+  (match Hostpq.Retry.once b with
+  | exception Hostpq.Retry.Gave_up { op; attempts } ->
+      Alcotest.(check string) "names the operation" "unit" op;
+      check_int "at the budget" 3 attempts
+  | () -> Alcotest.fail "expected Gave_up at the attempt budget");
+  check_int "attempts counted" 3 (Hostpq.Retry.attempts b)
+
+let test_retry_default_never_gives_up () =
+  let b = Hostpq.Retry.start "unit" in
+  for _ = 1 to 1_000 do
+    Hostpq.Retry.once b
+  done;
+  check_int "still going" 1_000 (Hostpq.Retry.attempts b)
+
 (* ------------------------------------------------------------------ *)
 (* bounded counter *)
 
@@ -308,6 +374,15 @@ let () =
             Alcotest.test_case "sequential" `Quick test_stack_sequential;
             Alcotest.test_case "concurrent conservation" `Quick
               test_stack_concurrent_conservation;
+            Alcotest.test_case "randomized-pause stress" `Quick
+              test_stack_randomized_pause_stress;
+          ] );
+        ( "retry",
+          [
+            Alcotest.test_case "gives up at the budget" `Quick
+              test_retry_gives_up_on_budget;
+            Alcotest.test_case "default never gives up" `Quick
+              test_retry_default_never_gives_up;
           ] );
         ( "bounded-counter",
           [

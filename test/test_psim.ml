@@ -28,6 +28,23 @@ let test_rng_bounds () =
     check_bool "in range" true (v >= 0 && v < 10)
   done
 
+let test_rng_known_answers () =
+  (* splitmix64 reference vectors for seed 0 (mix 0 = 0, so [make 0]
+     reproduces the published stream exactly).  Pins the generator
+     against silent drift: every simulation seed derives from it. *)
+  let r = Pqsim.Rng.make 0 in
+  List.iter
+    (fun expected ->
+      Alcotest.(check int64) "splitmix64(0) stream" expected
+        (Pqsim.Rng.next64 r))
+    [
+      0xE220A8397B1DCDAFL;
+      0x6E789E6AA1B965F4L;
+      0x06C45D188009454FL;
+      0xF88BB8A8724C81ECL;
+      0x1B39896A51A8749BL;
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Machine *)
 
@@ -91,6 +108,31 @@ let test_evq_random_order =
         | Some (t, _) -> t >= last && drain t
       in
       drain min_int)
+
+let test_evq_total_stable_order =
+  (* the engine's determinism rests on this total order: (time, weight)
+     ascending, push order breaking exact ties *)
+  QCheck.Test.make ~name:"evq order is total and stable" ~count:200
+    QCheck.(list (pair (int_bound 50) (int_bound 3)))
+    (fun events ->
+      let q = Pqsim.Evq.create () in
+      let out = ref [] in
+      List.iteri
+        (fun seq (time, weight) ->
+          Pqsim.Evq.push q ~time ~weight (fun () ->
+              out := (time, weight, seq) :: !out))
+        events;
+      let rec drain () =
+        match Pqsim.Evq.pop q with
+        | None -> ()
+        | Some (_, run) ->
+            run ();
+            drain ()
+      in
+      drain ();
+      let popped = List.rev !out in
+      List.length popped = List.length events
+      && popped = List.sort compare popped)
 
 (* ------------------------------------------------------------------ *)
 (* Mem (host-side behaviour) *)
@@ -342,6 +384,8 @@ let () =
           Alcotest.test_case "split independent" `Quick
             test_rng_split_independent;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "splitmix64 known answers" `Quick
+            test_rng_known_answers;
         ] );
       ( "machine",
         [
@@ -353,7 +397,7 @@ let () =
           Alcotest.test_case "time order" `Quick test_evq_order;
           Alcotest.test_case "fifo ties" `Quick test_evq_fifo_ties;
         ] );
-      qsuite "evq-props" [ test_evq_random_order ];
+      qsuite "evq-props" [ test_evq_random_order; test_evq_total_stable_order ];
       ( "mem",
         [
           Alcotest.test_case "alloc disjoint" `Quick test_mem_alloc_disjoint;
