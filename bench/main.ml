@@ -11,9 +11,19 @@
    time), plus the host multicore library's primitive operations.
 
    `dune exec bench/main.exe` runs everything at paper scale;
-   pass `quick` to cap the sweeps at 64 processors. *)
+   pass `quick` to cap the sweeps at 64 processors.  Every Figure 5-9
+   series (plus the ablations and extensions) is also written as a
+   schema-stable BENCH.json — `--json PATH` overrides the output path. *)
 
 let quick = Array.exists (( = ) "quick") Sys.argv
+
+let json_path =
+  let rec find = function
+    | "--json" :: path :: _ -> path
+    | _ :: rest -> find rest
+    | [] -> "BENCH.json"
+  in
+  find (Array.to_list Sys.argv)
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's evaluation *)
@@ -30,7 +40,37 @@ let () =
      absolute values, are comparable with the paper)\n\
      =====================================================================\n"
     scale.Pqbenchlib.Figures.max_procs;
-  Pqbenchlib.Figures.run_all scale
+  let figures = Pqbenchlib.Figures.collect scale in
+  ignore (Pqbenchlib.Figures.sensitivity scale);
+  (* a couple of headline contention metrics ride along in the document's
+     free-form metrics section, from probed re-runs of one Figure 8 point *)
+  let metrics =
+    let p = min 64 scale.Pqbenchlib.Figures.max_procs in
+    List.map
+      (fun queue ->
+        let r =
+          Pqbenchlib.Profiler.profile_queue ~queue ~nprocs:p
+            ~ops_per_proc:scale.Pqbenchlib.Figures.ops ()
+        in
+        ( Printf.sprintf "%s.P%d" queue p,
+          Pqtrace.Metrics.to_json r.Pqbenchlib.Profiler.derived ))
+      [ "SingleLock"; "HuntEtAl"; "SimpleTree"; "FunnelTree" ]
+  in
+  let doc =
+    Pqtrace.Bench_out.make ~seed:42
+      ~scale:(if quick then "quick" else "full")
+      ~metrics figures
+  in
+  let text = Pqtrace.Bench_out.to_string doc in
+  (match Pqtrace.Bench_out.validate_string text with
+  | Ok () -> ()
+  | Error e -> failwith ("BENCH.json failed self-validation: " ^ e));
+  let oc = open_out json_path in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d figures, schema v%d)\n" json_path
+    (List.length figures) Pqtrace.Bench_out.schema_version
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks *)

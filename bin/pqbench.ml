@@ -1,5 +1,7 @@
-(* Command-line driver: run a single queue benchmark, or regenerate any of
-   the paper's figures/tables on the simulated multiprocessor. *)
+(* Command-line driver: run a single queue benchmark, regenerate any of
+   the paper's figures/tables on the simulated multiprocessor, or observe
+   a run through the pqtrace subsystem (event traces, contention
+   profiles, BENCH.json validation). *)
 
 open Cmdliner
 
@@ -85,24 +87,6 @@ let run_cmd =
     Term.(ret (const run $ scale_term $ exp))
 
 let bench_cmd =
-  let queue =
-    Arg.(
-      value & opt string "FunnelTree"
-      & info [ "queue" ] ~docv:"NAME" ~doc:"Queue algorithm.")
-  in
-  let procs =
-    Arg.(value & opt int 16 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Processors.")
-  in
-  let priorities =
-    Arg.(
-      value & opt int 16
-      & info [ "priorities"; "n" ] ~docv:"N" ~doc:"Priority range.")
-  in
-  let ops =
-    Arg.(
-      value & opt int 40 & info [ "ops" ] ~docv:"OPS" ~doc:"Accesses per processor.")
-  in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed.") in
   let run queue procs priorities ops seed =
     let spec =
       {
@@ -129,15 +113,124 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run a single queue benchmark point.")
-    Term.(const run $ queue $ procs $ priorities $ ops $ seed)
+    Term.(
+      const run
+      $ Terms.queue ~default:"FunnelTree" ~doc:"Queue algorithm."
+      $ Terms.procs ~default:16 $ Terms.priorities ~default:16
+      $ Terms.ops ~default:40 $ Terms.seed)
+
+let profile_cmd =
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"Rows in the hottest-lines table.")
+  in
+  let run queue procs priorities ops seed top =
+    match Terms.resolve_queues queue with
+    | Error e -> `Error (false, e)
+    | Ok queues ->
+        List.iter
+          (fun q ->
+            let r =
+              Pqbenchlib.Profiler.profile_queue ~npriorities:priorities ~seed
+                ~ops_per_proc:ops ~top ~queue:q ~nprocs:procs ()
+            in
+            Format.printf "%a@.@." Pqbenchlib.Profiler.pp_report r)
+          queues;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run queues under a metrics probe and print contention metrics \
+          (lock wait/hold, combining and elimination rates, CAS failures) \
+          plus the hottest cache lines with symbolic names.")
+    Term.(
+      ret
+        (const run
+        $ Terms.queue ~default:"all"
+            ~doc:"Queue algorithm, or $(b,all) for the paper's seven."
+        $ Terms.procs ~default:64 $ Terms.priorities ~default:16
+        $ Terms.ops ~default:40 $ Terms.seed $ top))
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value & opt string "trace"
+      & info [ "out"; "o" ] ~docv:"PREFIX"
+          ~doc:
+            "Output prefix: writes $(docv).json (Chrome trace_event, load \
+             in chrome://tracing or Perfetto) and $(docv).jsonl (one event \
+             per line).")
+  in
+  let limit =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "limit" ] ~docv:"E" ~doc:"Buffered-event cap.")
+  in
+  let run queue procs priorities ops seed limit out =
+    match Terms.resolve_queues queue with
+    | Error e -> `Error (false, e)
+    | Ok [ q ] ->
+        let recorder, r =
+          Pqbenchlib.Profiler.trace_queue ~npriorities:priorities ~seed
+            ~ops_per_proc:ops ~limit ~queue:q ~nprocs:procs ()
+        in
+        let mem = r.Pqbenchlib.Workload.mem in
+        let write path text =
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Printf.printf "wrote %s\n" path
+        in
+        write (out ^ ".json") (Pqtrace.Recorder.to_chrome ~mem recorder);
+        write (out ^ ".jsonl") (Pqtrace.Recorder.to_jsonl ~mem recorder);
+        Printf.printf "%s  P=%d N=%d seed=%d: %d events (%d dropped), %d cycles\n"
+          q procs priorities seed
+          (Pqtrace.Recorder.length recorder)
+          (Pqtrace.Recorder.dropped recorder)
+          r.Pqbenchlib.Workload.cycles;
+        `Ok ()
+    | Ok _ ->
+        `Error (false, "trace records one queue at a time; pick one, not all")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record the full event trace of one benchmark run (memory \
+          operations, lock hand-offs, funnel combines/eliminations, \
+          scheduler decisions) and export it as a Chrome trace plus JSONL.")
+    Term.(
+      ret
+        (const run
+        $ Terms.queue ~default:"FunnelTree" ~doc:"Queue algorithm."
+        $ Terms.procs ~default:8 $ Terms.priorities ~default:16
+        $ Terms.ops ~default:10 $ Terms.seed $ limit $ out))
+
+let validate_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"BENCH.json document to validate.")
+  in
+  let run file =
+    let ic = open_in_bin file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Pqtrace.Bench_out.validate_string text with
+    | Ok () ->
+        Printf.printf "%s: valid (schema v%d)\n" file
+          Pqtrace.Bench_out.schema_version;
+        `Ok ()
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Check a BENCH.json document against the benchmark schema.")
+    Term.(ret (const run $ file))
 
 let explore_cmd =
-  let queue =
-    Arg.(
-      value & opt string "all"
-      & info [ "queue" ] ~docv:"NAME"
-          ~doc:"Queue algorithm, or $(b,all) for the paper's seven.")
-  in
   let policy =
     Arg.(
       value & opt string "random"
@@ -149,24 +242,6 @@ let explore_cmd =
       value & opt int 64
       & info [ "budget" ] ~docv:"N" ~doc:"Schedules to explore per queue.")
   in
-  let procs =
-    Arg.(
-      value & opt int 4
-      & info [ "procs"; "p" ] ~docv:"P" ~doc:"Simulated processors.")
-  in
-  let priorities =
-    Arg.(
-      value & opt int 8
-      & info [ "priorities"; "n" ] ~docv:"N" ~doc:"Priority range.")
-  in
-  let ops =
-    Arg.(
-      value & opt int 5
-      & info [ "ops" ] ~docv:"OPS" ~doc:"Queue accesses per processor.")
-  in
-  let seed =
-    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
-  in
   let max_states =
     Arg.(
       value & opt int 300_000
@@ -176,41 +251,31 @@ let explore_cmd =
   let run queue policy budget procs priorities ops seed max_states =
     match Pqexplore.Explore.policy_kind_of_string policy with
     | Error e -> `Error (false, e)
-    | Ok policy ->
-        let queues =
-          if queue = "all" then Pqcore.Registry.names_paper else [ queue ]
-        in
-        let unknown =
-          List.filter (fun q -> not (List.mem q Pqcore.Registry.names)) queues
-        in
-        if unknown <> [] then
-          `Error
-            ( false,
-              Printf.sprintf "unknown queue %S; try `pqbench list'"
-                (List.hd unknown) )
-        else begin
-          let inconsistent = ref [] in
-          List.iter
-            (fun q ->
-              let cfg =
-                Pqexplore.Driver.config ~nprocs:procs ~npriorities:priorities
-                  ~ops_per_proc:ops ~max_states q
-              in
-              let r =
-                Pqexplore.Explore.run ~cfg ~seed ~queue:q ~policy ~budget ()
-              in
-              Format.printf "%a@." Pqexplore.Explore.pp_report r;
-              if r.Pqexplore.Explore.level = Pqexplore.Verdict.Inconsistent
-              then inconsistent := q :: !inconsistent)
-            queues;
-          match !inconsistent with
-          | [] -> `Ok ()
-          | qs ->
-              `Error
-                ( false,
-                  "quiescent-consistency violation found: "
-                  ^ String.concat ", " (List.rev qs) )
-        end
+    | Ok policy -> (
+        match Terms.resolve_queues queue with
+        | Error e -> `Error (false, e)
+        | Ok queues ->
+            let inconsistent = ref [] in
+            List.iter
+              (fun q ->
+                let cfg =
+                  Pqexplore.Driver.config ~nprocs:procs ~npriorities:priorities
+                    ~ops_per_proc:ops ~max_states q
+                in
+                let r =
+                  Pqexplore.Explore.run ~cfg ~seed ~queue:q ~policy ~budget ()
+                in
+                Format.printf "%a@." Pqexplore.Explore.pp_report r;
+                if r.Pqexplore.Explore.level = Pqexplore.Verdict.Inconsistent
+                then inconsistent := q :: !inconsistent)
+              queues;
+            (match !inconsistent with
+            | [] -> `Ok ()
+            | qs ->
+                `Error
+                  ( false,
+                    "quiescent-consistency violation found: "
+                    ^ String.concat ", " (List.rev qs) )))
   in
   Cmd.v
     (Cmd.info "explore"
@@ -219,16 +284,14 @@ let explore_cmd =
           claims.")
     Term.(
       ret
-        (const run $ queue $ policy $ budget $ procs $ priorities $ ops $ seed
-       $ max_states))
+        (const run
+        $ Terms.queue ~default:"all"
+            ~doc:"Queue algorithm, or $(b,all) for the paper's seven."
+        $ policy $ budget $ Terms.procs ~default:4
+        $ Terms.priorities ~default:8 $ Terms.ops ~default:5 $ Terms.seed
+        $ max_states))
 
 let faults_cmd =
-  let queue =
-    Arg.(
-      value & opt string "all"
-      & info [ "queue" ] ~docv:"NAME"
-          ~doc:"Queue algorithm, or $(b,all) for the paper's seven.")
-  in
   let plans =
     Arg.(
       value & opt string "all"
@@ -236,24 +299,6 @@ let faults_cmd =
           ~doc:
             "Comma-separated fault plans ($(b,crash-one), $(b,crash-lock), \
              $(b,pause), $(b,slow-node)) or $(b,all).")
-  in
-  let procs =
-    Arg.(
-      value & opt int 4
-      & info [ "procs"; "p" ] ~docv:"P" ~doc:"Simulated processors.")
-  in
-  let priorities =
-    Arg.(
-      value & opt int 8
-      & info [ "priorities"; "n" ] ~docv:"N" ~doc:"Priority range.")
-  in
-  let ops =
-    Arg.(
-      value & opt int 6
-      & info [ "ops" ] ~docv:"OPS" ~doc:"Queue accesses per processor.")
-  in
-  let seed =
-    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
   in
   let rounds =
     Arg.(
@@ -283,58 +328,49 @@ let faults_cmd =
     match parse_plans plans with
     | Error e -> `Error (false, e)
     | Ok plans -> (
-        let queues =
-          if queue = "all" then Pqcore.Registry.names_paper else [ queue ]
-        in
-        let unknown =
-          List.filter (fun q -> not (List.mem q Pqcore.Registry.names)) queues
-        in
-        if unknown <> [] then
-          `Error
-            ( false,
-              Printf.sprintf "unknown queue %S; try `pqbench list'"
-                (List.hd unknown) )
-        else begin
-          let reports =
-            List.map
-              (fun q ->
-                Pqfault.Driver.run ~plans
-                  (Pqfault.Driver.config ~nprocs:procs ~npriorities:priorities
-                     ~ops_per_proc:ops ~seed ~rounds q))
-              queues
-          in
-          if verbose then
-            List.iter
-              (Format.printf "%a@." Pqfault.Driver.pp_report)
-              reports;
-          (* verdict matrix: queues x plans *)
-          Printf.printf "%-22s %9s" "queue" "baseline";
-          List.iter
-            (fun p -> Printf.printf " %12s" (Pqfault.Plan.name p))
-            plans;
-          Printf.printf "  safety\n";
-          List.iter
-            (fun (r : Pqfault.Driver.report) ->
-              Printf.printf "%-22s %9d" r.Pqfault.Driver.queue
-                r.Pqfault.Driver.baseline_cycles;
+        match Terms.resolve_queues queue with
+        | Error e -> `Error (false, e)
+        | Ok queues -> (
+            let reports =
+              List.map
+                (fun q ->
+                  Pqfault.Driver.run ~plans
+                    (Pqfault.Driver.config ~nprocs:procs
+                       ~npriorities:priorities ~ops_per_proc:ops ~seed ~rounds
+                       q))
+                queues
+            in
+            if verbose then
               List.iter
-                (fun (pr : Pqfault.Driver.plan_report) ->
-                  Printf.printf " %12s"
-                    (Pqfault.Driver.verdict_to_string pr.Pqfault.Driver.verdict))
-                r.Pqfault.Driver.plans;
-              Printf.printf "  %s\n"
-                (if r.Pqfault.Driver.safe then "ok" else "VIOLATED"))
-            reports;
-          let failures =
-            List.concat_map
-              (fun r ->
-                match Pqfault.Driver.gate r with Ok () -> [] | Error l -> l)
-              reports
-          in
-          match failures with
-          | [] -> `Ok ()
-          | l -> `Error (false, String.concat "\n" l)
-        end)
+                (Format.printf "%a@." Pqfault.Driver.pp_report)
+                reports;
+            (* verdict matrix: queues x plans *)
+            Printf.printf "%-22s %9s" "queue" "baseline";
+            List.iter
+              (fun p -> Printf.printf " %12s" (Pqfault.Plan.name p))
+              plans;
+            Printf.printf "  safety\n";
+            List.iter
+              (fun (r : Pqfault.Driver.report) ->
+                Printf.printf "%-22s %9d" r.Pqfault.Driver.queue
+                  r.Pqfault.Driver.baseline_cycles;
+                List.iter
+                  (fun (pr : Pqfault.Driver.plan_report) ->
+                    Printf.printf " %12s"
+                      (Pqfault.Driver.verdict_to_string pr.Pqfault.Driver.verdict))
+                  r.Pqfault.Driver.plans;
+                Printf.printf "  %s\n"
+                  (if r.Pqfault.Driver.safe then "ok" else "VIOLATED"))
+              reports;
+            let failures =
+              List.concat_map
+                (fun r ->
+                  match Pqfault.Driver.gate r with Ok () -> [] | Error l -> l)
+                reports
+            in
+            match failures with
+            | [] -> `Ok ()
+            | l -> `Error (false, String.concat "\n" l)))
   in
   Cmd.v
     (Cmd.info "faults"
@@ -343,8 +379,11 @@ let faults_cmd =
           queue's progress verdict and post-fault safety.")
     Term.(
       ret
-        (const run $ queue $ plans $ procs $ priorities $ ops $ seed $ rounds
-       $ verbose))
+        (const run
+        $ Terms.queue ~default:"all"
+            ~doc:"Queue algorithm, or $(b,all) for the paper's seven."
+        $ plans $ Terms.procs ~default:4 $ Terms.priorities ~default:8
+        $ Terms.ops ~default:6 $ Terms.seed $ rounds $ verbose))
 
 let () =
   let doc =
@@ -354,4 +393,7 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "pqbench" ~doc)
-          [ list_cmd; run_cmd; bench_cmd; explore_cmd; faults_cmd ]))
+          [
+            list_cmd; run_cmd; bench_cmd; profile_cmd; trace_cmd; validate_cmd;
+            explore_cmd; faults_cmd;
+          ]))

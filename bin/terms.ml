@@ -1,0 +1,46 @@
+(* Shared cmdliner argument terms for the pqbench sub-commands.
+
+   Every sub-command drives the same simulated machine, so the knobs that
+   select a run — queue, processor count, priority range, accesses per
+   processor, seed — are defined once here.  Defaults differ per command
+   (an exploration run wants a tiny schedule space, a benchmark a
+   realistic one) and are passed in; the seed default is the one global:
+   every command, like Workload.spec, starts from [default_seed]. *)
+
+open Cmdliner
+
+let default_seed = 42
+
+let seed =
+  Arg.(
+    value & opt int default_seed
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic simulation seed.")
+
+let procs ~default =
+  Arg.(
+    value & opt int default
+    & info [ "procs"; "p" ] ~docv:"P" ~doc:"Simulated processors.")
+
+let priorities ~default =
+  Arg.(
+    value & opt int default
+    & info [ "priorities"; "n" ] ~docv:"N" ~doc:"Priority range.")
+
+let ops ~default =
+  Arg.(
+    value & opt int default
+    & info [ "ops" ] ~docv:"OPS" ~doc:"Queue accesses per processor.")
+
+let queue ~default ~doc =
+  Arg.(value & opt string default & info [ "queue" ] ~docv:"NAME" ~doc)
+
+(* expand --queue all / check the name against the registry *)
+let resolve_queues name =
+  let queues =
+    if name = "all" then Pqcore.Registry.names_paper else [ name ]
+  in
+  match
+    List.filter (fun q -> not (List.mem q Pqcore.Registry.names)) queues
+  with
+  | [] -> Ok queues
+  | q :: _ -> Error (Printf.sprintf "unknown queue %S; try `pqbench list'" q)

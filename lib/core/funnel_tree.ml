@@ -18,18 +18,26 @@ let create mem (p : Pq_intf.params) =
             | None -> Pqfunnel.Engine.default_config ~nprocs:traffic
           in
           Funnel
-            (Pqfunnel.Fcounter.create mem ~nprocs:p.nprocs ~config
-               ~elim:p.funnel_elim ~floor:0 ~init:0 ())
+            (Pqfunnel.Fcounter.create
+               ~name:(Printf.sprintf "FunnelTree.counter[%d]" n)
+               mem ~nprocs:p.nprocs ~config ~elim:p.funnel_elim ~floor:0
+               ~init:0 ())
         end
-        else Locked (Pqstruct.Lcounter.create mem ~nprocs:p.nprocs ~init:0))
+        else
+          Locked
+            (Pqstruct.Lcounter.create
+               ~name:(Printf.sprintf "FunnelTree.counter[%d]" n)
+               mem ~nprocs:p.nprocs ~init:0))
   in
   let pool =
     Pqfunnel.Pool.create mem ~nprocs:p.nprocs ~pushes_per_proc:p.ops_per_proc
   in
   let stacks =
-    Array.init p.npriorities (fun _ ->
-        Pqfunnel.Fstack.create mem ~nprocs:p.nprocs ?config:p.funnel_config
-          ~elim:p.funnel_elim ~pool ())
+    Array.init p.npriorities (fun pri ->
+        Pqfunnel.Fstack.create
+          ~name:(Printf.sprintf "FunnelTree.stack[%d]" pri)
+          mem ~nprocs:p.nprocs ?config:p.funnel_config ~elim:p.funnel_elim
+          ~pool ())
   in
   let counter_inc n =
     match counters.(n) with

@@ -33,12 +33,24 @@ let set_tag h i v = Api.write (tag h i) v
 
 let make mem (p : Pq_intf.params) =
   let cap = p.capacity in
+  let size_a = Mem.alloc mem 1 in
+  let locks =
+    Array.init (cap + 1) (fun i ->
+        Pqsync.Mcs.create
+          ~name:(Printf.sprintf "HuntEtAl.node_lock[%d]" i)
+          mem ~nprocs:p.nprocs)
+  in
+  let tags = Mem.alloc mem (cap + 1) in
+  let items = Mem.alloc mem (cap + 1) in
+  Mem.label mem ~addr:size_a ~len:1 "HuntEtAl.size";
+  Mem.label mem ~addr:tags ~len:(cap + 1) "HuntEtAl.tags";
+  Mem.label mem ~addr:items ~len:(cap + 1) "HuntEtAl.items";
   {
-    heap_lock = Pqsync.Mcs.create mem ~nprocs:p.nprocs;
-    size_a = Mem.alloc mem 1;
-    locks = Array.init (cap + 1) (fun _ -> Pqsync.Mcs.create mem ~nprocs:p.nprocs);
-    tags = Mem.alloc mem (cap + 1);
-    items = Mem.alloc mem (cap + 1);
+    heap_lock = Pqsync.Mcs.create ~name:"HuntEtAl.heap_lock" mem ~nprocs:p.nprocs;
+    size_a;
+    locks;
+    tags;
+    items;
     cap;
   }
 

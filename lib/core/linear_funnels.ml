@@ -7,9 +7,9 @@ type fbin = {
   fb_drain : Pqsim.Mem.t -> int list;
 }
 
-let stack_bin mem (p : Pq_intf.params) pool =
+let stack_bin ~name mem (p : Pq_intf.params) pool =
   let s =
-    Pqfunnel.Fstack.create mem ~nprocs:p.nprocs ?config:p.funnel_config
+    Pqfunnel.Fstack.create ~name mem ~nprocs:p.nprocs ?config:p.funnel_config
       ~elim:p.funnel_elim ~pool ()
   in
   {
@@ -19,10 +19,10 @@ let stack_bin mem (p : Pq_intf.params) pool =
     fb_drain = (fun mem -> Pqfunnel.Fstack.drain_now mem s);
   }
 
-let fifo_bin ~elim mem (p : Pq_intf.params) pool =
+let fifo_bin ~elim ~name mem (p : Pq_intf.params) pool =
   let q =
-    Pqfunnel.Fqueue.create mem ~nprocs:p.nprocs ?config:p.funnel_config ~elim
-      ~pool ()
+    Pqfunnel.Fqueue.create ~name mem ~nprocs:p.nprocs ?config:p.funnel_config
+      ~elim ~pool ()
   in
   {
     fb_push = Pqfunnel.Fqueue.enqueue q;
@@ -35,7 +35,10 @@ let create_gen ~precheck ~name ~mk_bin mem (p : Pq_intf.params) =
   let pool =
     Pqfunnel.Pool.create mem ~nprocs:p.nprocs ~pushes_per_proc:p.ops_per_proc
   in
-  let bins = Array.init p.npriorities (fun _ -> mk_bin mem p pool) in
+  let bins =
+    Array.init p.npriorities (fun pri ->
+        mk_bin ~name:(Printf.sprintf "%s.bin[%d]" name pri) mem p pool)
+  in
   let insert ~pri ~payload =
     bins.(pri).fb_push payload;
     true

@@ -1,8 +1,10 @@
 
 let create mem (p : Pq_intf.params) =
   let bins =
-    Array.init p.npriorities (fun _ ->
-        Pqstruct.Bin.create mem ~nprocs:p.nprocs ~cap:p.bin_capacity)
+    Array.init p.npriorities (fun pri ->
+        Pqstruct.Bin.create
+          ~name:(Printf.sprintf "SimpleLinear.bin[%d]" pri)
+          mem ~nprocs:p.nprocs ~cap:p.bin_capacity)
   in
   let insert ~pri ~payload = Pqstruct.Bin.insert bins.(pri) payload in
   let delete_min () =

@@ -4,11 +4,16 @@ let create mem (p : Pq_intf.params) =
   (* MCS-locked counters, per the paper: "tree of bins using MCS locks";
      indexed by internal node id 1 .. nleaves-1 *)
   let counters =
-    Array.init nleaves (fun _ -> Pqstruct.Lcounter.create mem ~nprocs:p.nprocs ~init:0)
+    Array.init nleaves (fun i ->
+        Pqstruct.Lcounter.create
+          ~name:(Printf.sprintf "SimpleTree.counter[%d]" i)
+          mem ~nprocs:p.nprocs ~init:0)
   in
   let bins =
-    Array.init p.npriorities (fun _ ->
-        Pqstruct.Bin.create mem ~nprocs:p.nprocs ~cap:p.bin_capacity)
+    Array.init p.npriorities (fun pri ->
+        Pqstruct.Bin.create
+          ~name:(Printf.sprintf "SimpleTree.bin[%d]" pri)
+          mem ~nprocs:p.nprocs ~cap:p.bin_capacity)
   in
   let insert ~pri ~payload =
     if Pqstruct.Bin.insert bins.(pri) payload then begin

@@ -1,7 +1,9 @@
 
 let create mem (p : Pq_intf.params) =
-  let lock = Pqsync.Mcs.create mem ~nprocs:p.nprocs in
-  let heap = Pqstruct.Seqheap.create mem ~cap:p.capacity in
+  let lock = Pqsync.Mcs.create ~name:"SingleLock.lock" mem ~nprocs:p.nprocs in
+  let heap =
+    Pqstruct.Seqheap.create ~name:"SingleLock.heap" mem ~cap:p.capacity
+  in
   let insert ~pri ~payload =
     let key = Pqstruct.Elem.pack ~pri ~payload in
     Pqsync.Mcs.acquire lock;

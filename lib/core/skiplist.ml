@@ -9,14 +9,16 @@ type s = {
 
 let create mem (p : Pq_intf.params) =
   let base =
-    Pqstruct.Skipbase.create mem ~nprocs:p.nprocs ~npriorities:p.npriorities
-      ~bin_cap:p.bin_capacity ~seed:p.seed
+    Pqstruct.Skipbase.create ~name:"SkipList" mem ~nprocs:p.nprocs
+      ~npriorities:p.npriorities ~bin_cap:p.bin_capacity ~seed:p.seed
   in
+  let delbin = Mem.alloc mem 1 in
+  Mem.label mem ~addr:delbin ~len:1 "SkipList.delbin";
   let s =
     {
       base;
-      delbin = Mem.alloc mem 1;
-      del_lock = Pqsync.Tas.create mem;
+      delbin;
+      del_lock = Pqsync.Tas.create ~name:"SkipList.del_lock" mem;
       npriorities = p.npriorities;
     }
   in

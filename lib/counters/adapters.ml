@@ -7,7 +7,7 @@ let cas mem =
   }
 
 let mcs mem ~nprocs =
-  let c = Pqstruct.Lcounter.create mem ~nprocs ~init:0 in
+  let c = Pqstruct.Lcounter.create ~name:"mcs.counter" mem ~nprocs ~init:0 in
   {
     Ctr_intf.name = "mcs";
     inc = (fun () -> Pqstruct.Lcounter.fai c);
@@ -15,7 +15,7 @@ let mcs mem ~nprocs =
   }
 
 let funnel mem ~nprocs =
-  let c = Pqfunnel.Fcounter.create mem ~nprocs ~init:0 () in
+  let c = Pqfunnel.Fcounter.create ~name:"funnel.counter" mem ~nprocs ~init:0 () in
   {
     Ctr_intf.name = "funnel";
     inc = (fun () -> Pqfunnel.Fcounter.inc c);

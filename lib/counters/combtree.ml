@@ -17,7 +17,7 @@ let deposit_carry s = s asr 2
 
 type node = { state : int; result : int; flag : int }
 
-let create mem ~nprocs ?(wait = 64) ?central ?solo () =
+let create ?name mem ~nprocs ?(wait = 64) ?central ?solo () =
   let rec pow2 n = if n >= nprocs then n else pow2 (2 * n) in
   let nleaves = pow2 1 in
   let levels =
@@ -26,13 +26,20 @@ let create mem ~nprocs ?(wait = 64) ?central ?solo () =
   in
   (* internal nodes in heap order 1 .. nleaves-1 *)
   let nodes =
-    Array.init nleaves (fun _ ->
+    Array.init nleaves (fun i ->
         let base = Mem.alloc mem 3 in
+        (match name with
+        | Some n ->
+            Mem.label mem ~addr:base ~len:3 (Printf.sprintf "%s.node[%d]" n i)
+        | None -> ());
         { state = base; result = base + 1; flag = base + 2 })
   in
   let central =
     match central with Some c -> c | None -> Mem.alloc mem 1
   in
+  (match name with
+  | Some n -> Mem.label mem ~addr:central ~len:1 (n ^ ".central")
+  | None -> ());
   let cas_add addr d =
     let b = Pqsync.Backoff.make () in
     let rec go () =
@@ -47,6 +54,7 @@ let create mem ~nprocs ?(wait = 64) ?central ?solo () =
   in
   let inc () =
     let me = Api.self () in
+    Api.count "comb.ops" 1;
     (* climb from our leaf; [carry] is the ops we speak for, [combined]
        the nodes whose waiter we must serve on the way down *)
     let node = ref ((nleaves + (me mod nleaves)) / 2) in
@@ -73,6 +81,7 @@ let create mem ~nprocs ?(wait = 64) ?central ?solo () =
              then () (* nobody came: withdraw and keep climbing alone *)
              else begin
                (* a partner absorbed us: wait for our base value *)
+               Api.count "comb.absorbed" 1;
                ignore (Api.await n.flag ~until:(fun v -> v = 1));
                base := Api.read n.result;
                Api.write n.flag 0;
@@ -84,6 +93,7 @@ let create mem ~nprocs ?(wait = 64) ?central ?solo () =
              is_deposit s && Api.cas n.state ~expected:s ~desired:st_combined
            then begin
              (* absorb the waiter's ops; we answer for them going down *)
+             Api.count "comb.combine" (deposit_carry s);
              combined := (!node, !carry) :: !combined;
              carry := !carry + deposit_carry s
            end
@@ -99,6 +109,7 @@ let create mem ~nprocs ?(wait = 64) ?central ?solo () =
          node := !node / 2
        done;
        (* reached the top speaking for [carry] ops *)
+       Api.count "comb.central" 1;
        base := cas_add central !carry
      with Exit -> ());
     (* load feedback for reactive callers: count consecutive operations

@@ -10,6 +10,7 @@
     is why funnels win under irregular load (paper footnote 4). *)
 
 val create :
+  ?name:string ->
   Pqsim.Mem.t ->
   nprocs:int ->
   ?wait:int ->
@@ -20,4 +21,10 @@ val create :
 (** [wait] is the combining window in cycles a first arrival holds a node
     open for its partner; [central] lets callers share the counter word
     with another implementation and [solo] receives per-processor counts
-    of consecutive un-combined climbs (both used by {!Reactive}) *)
+    of consecutive un-combined climbs (both used by {!Reactive}).
+    [?name] labels the tree nodes and central word for the contention
+    profiler.  Under a probe, [inc] reports [comb.ops] (calls),
+    [comb.absorbed] (climbers whose deposit a partner picked up),
+    [comb.central] (climbers that reached the counter word) and
+    [comb.combine] (ops absorbed at a node, sample value = carry), with
+    [ops = absorbed + central]. *)

@@ -9,10 +9,12 @@ let instances = ref 0
 let create mem ~nprocs ?(up_after = 1) ?(down_after = 8) () =
   let central = Mem.alloc mem 1 in
   let mode = Mem.alloc mem 1 in
-  let lock = Pqsync.Tas.create mem in
+  Mem.label mem ~addr:central ~len:1 "reactive.central";
+  Mem.label mem ~addr:mode ~len:1 "reactive.mode";
+  let lock = Pqsync.Tas.create ~name:"reactive.lock" mem in
   let solo = Array.make nprocs 0 in
   let busy_streak = Array.make nprocs 0 in
-  let tree = Combtree.create mem ~nprocs ~central ~solo () in
+  let tree = Combtree.create ~name:"reactive.tree" mem ~nprocs ~central ~solo () in
   let cas_faa addr =
     let b = Pqsync.Backoff.make () in
     let rec go () =

@@ -57,22 +57,32 @@ type t = {
   adapt : float array; (* host-side, processor-local adaption factor *)
 }
 
-let create mem ~nprocs ~config =
+let create ?name mem ~nprocs ~config =
   let max_kids = config.levels + 2 in
   let rec_size = off_kids + max_kids in
   let layers =
-    Array.map
-      (fun w ->
+    Array.mapi
+      (fun d w ->
         let a = Mem.alloc mem w in
         for i = 0 to w - 1 do
           Mem.poke mem (a + i) (-1) (* NOBODY *)
         done;
+        (match name with
+        | Some n -> Mem.label mem ~addr:a ~len:w (Printf.sprintf "%s.layer[%d]" n d)
+        | None -> ());
         a)
       config.widths
   in
   let recs = Mem.alloc mem (nprocs * rec_size) in
   for p = 0 to nprocs - 1 do
-    Mem.poke mem (recs + (p * rec_size) + off_loc) idle
+    Mem.poke mem (recs + (p * rec_size) + off_loc) idle;
+    match name with
+    | Some n ->
+        Mem.label mem
+          ~addr:(recs + (p * rec_size))
+          ~len:rec_size
+          (Printf.sprintf "%s.rec[%d]" n p)
+    | None -> ()
   done;
   (* adaption starts narrow: a lightly loaded funnel behaves like its
      central object alone, and central contention widens it within a few
@@ -116,11 +126,13 @@ let note_success t pid =
     t.adapt.(pid) <- Float.min 1.0 (t.adapt.(pid) *. 1.5)
 
 let note_failure t pid =
+  Api.count "funnel.decline" 1;
   if t.cfg.adaptive then t.adapt.(pid) <- Float.max 0.05 (t.adapt.(pid) *. 0.9)
 
 (* contention at the central object is the strongest signal that combining
    is worth paying for *)
 let note_contention t pid =
+  Api.count "funnel.contend" 1;
   if t.cfg.adaptive then
     t.adapt.(pid) <- Float.min 1.0 (t.adapt.(pid) *. 2.0)
 
@@ -142,6 +154,7 @@ exception Caught
 let operate t ~sign ~opval ~homogeneous ~allow_elim ~eliminate ~try_central
     ~distribute =
   let me = Api.self () in
+  Api.count "funnel.ops" 1;
   let base = rec_base t me in
   Api.write (base + off_sum) sign;
   Api.write (base + off_nkids) 0;
@@ -186,11 +199,15 @@ let operate t ~sign ~opval ~homogeneous ~allow_elim ~eliminate ~try_central
                     must not reclaim a record the partner will consume. *)
                  Api.write (loc_addr t me) claimed;
                  note_success t me;
+                 Api.count "funnel.eliminate" 1;
+                 Api.mark "funnel.eliminate" q;
                  eliminate ~partner:q;
                  raise Done
                end
                else if (not homogeneous) || qsum = mysum then begin
                  note_success t me;
+                 Api.count "funnel.combine" 1;
+                 Api.mark "funnel.combine" q;
                  Api.write (sum_addr t me) (mysum + qsum);
                  append_child t me q;
                  incr d;
@@ -224,6 +241,7 @@ let operate t ~sign ~opval ~homogeneous ~allow_elim ~eliminate ~try_central
        if Api.cas (loc_addr t me) ~expected:!d ~desired:locked then begin
          match try_central ~sum:(Api.read (sum_addr t me)) with
          | Some v ->
+             Api.count "funnel.central" 1;
              set_result t me ~flag:flag_count ~value:v;
              raise Done
          | None ->

@@ -67,7 +67,16 @@ val default_config : nprocs:int -> config
 (** layer widths scale with the machine size; a 2-processor funnel
     degenerates to one narrow layer *)
 
-val create : Pqsim.Mem.t -> nprocs:int -> config:config -> t
+val create : ?name:string -> Pqsim.Mem.t -> nprocs:int -> config:config -> t
+(** [?name] labels the funnel's layers ([name.layer[d]]) and per-processor
+    records ([name.rec[p]]) for the contention profiler.  Under a probe,
+    [operate] reports [funnel.ops] (calls), [funnel.combine] (children
+    captured), [funnel.eliminate] (pairs annihilated — each pair finishes
+    two operations), [funnel.central] (applications at the central
+    object), [funnel.decline] (failed collision attempts) and
+    [funnel.contend] (central-object CAS contention), so
+    [ops = central + combine + 2*eliminate] when every operation
+    completes. *)
 
 val config : t -> config
 

@@ -8,13 +8,16 @@ type t = {
   ceil : int option;
 }
 
-let create mem ~nprocs ?config ?(elim = true) ?floor ?ceil ~init () =
+let create ?name mem ~nprocs ?config ?(elim = true) ?floor ?ceil ~init () =
   let config =
     match config with Some c -> c | None -> Engine.default_config ~nprocs
   in
   let main = Mem.alloc mem 1 in
   Mem.poke mem main init;
-  { f = Engine.create mem ~nprocs ~config; main; elim; floor; ceil }
+  (match name with
+  | Some n -> Mem.label mem ~addr:main ~len:1 (n ^ ".central")
+  | None -> ());
+  { f = Engine.create ?name mem ~nprocs ~config; main; elim; floor; ceil }
 
 let get t = Api.read t.main
 let peek mem t = Mem.peek mem t.main

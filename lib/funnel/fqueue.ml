@@ -12,8 +12,8 @@ type t = {
   elim : bool;
 }
 
-let create mem ~nprocs ?config ?(elim = false) ?pool ?(max_pushes_per_proc = 0)
-    () =
+let create ?name mem ~nprocs ?config ?(elim = false) ?pool
+    ?(max_pushes_per_proc = 0) () =
   let config =
     match config with Some c -> c | None -> Engine.default_config ~nprocs
   in
@@ -25,11 +25,19 @@ let create mem ~nprocs ?config ?(elim = false) ?pool ?(max_pushes_per_proc = 0)
           invalid_arg "Fqueue.create: need a pool or max_pushes_per_proc";
         Pool.create mem ~nprocs ~pushes_per_proc:max_pushes_per_proc
   in
+  let head = Mem.alloc mem 1 in
+  let tail = Mem.alloc mem 1 in
+  (match name with
+  | Some n ->
+      Mem.label mem ~addr:head ~len:1 (n ^ ".head");
+      Mem.label mem ~addr:tail ~len:1 (n ^ ".tail")
+  | None -> ());
   {
-    f = Engine.create mem ~nprocs ~config;
-    head = Mem.alloc mem 1;
-    tail = Mem.alloc mem 1;
-    lock = Pqsync.Tas.create mem;
+    f = Engine.create ?name mem ~nprocs ~config;
+    head;
+    tail;
+    lock =
+      Pqsync.Tas.create ?name:(Option.map (fun n -> n ^ ".lock") name) mem;
     pool;
     elim;
   }

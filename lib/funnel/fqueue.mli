@@ -18,6 +18,7 @@
 type t
 
 val create :
+  ?name:string ->
   Pqsim.Mem.t ->
   nprocs:int ->
   ?config:Engine.config ->

@@ -4,8 +4,8 @@ open Pqsim
 
 type t = { f : Engine.t; top : int; pool : Pool.t; elim : bool }
 
-let create mem ~nprocs ?config ?(elim = true) ?pool ?(max_pushes_per_proc = 0)
-    () =
+let create ?name mem ~nprocs ?config ?(elim = true) ?pool
+    ?(max_pushes_per_proc = 0) () =
   let config =
     match config with Some c -> c | None -> Engine.default_config ~nprocs
   in
@@ -18,7 +18,10 @@ let create mem ~nprocs ?config ?(elim = true) ?pool ?(max_pushes_per_proc = 0)
         Pool.create mem ~nprocs ~pushes_per_proc:max_pushes_per_proc
   in
   let top = Mem.alloc mem 1 in
-  { f = Engine.create mem ~nprocs ~config; top; pool; elim }
+  (match name with
+  | Some n -> Mem.label mem ~addr:top ~len:1 (n ^ ".top")
+  | None -> ());
+  { f = Engine.create ?name mem ~nprocs ~config; top; pool; elim }
 
 let value_of node = node
 let next_of node = node + 1

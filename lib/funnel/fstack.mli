@@ -16,6 +16,7 @@
 type t
 
 val create :
+  ?name:string ->
   Pqsim.Mem.t ->
   nprocs:int ->
   ?config:Engine.config ->

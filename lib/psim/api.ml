@@ -19,8 +19,13 @@ let await addr ~until =
   let rec go v = if until v then v else go (wait_change addr v) in
   go (read addr)
 
+let probing () = !Probe.active
+let count key v = if probing () then Effect.perform (Sim.Count (key, v))
+let mark name arg = if probing () then Effect.perform (Sim.Mark (name, arg))
+
 let timed key f =
   let t0 = now () in
   let x = f () in
   record key (now () - t0);
+  if probing () then Effect.perform (Sim.Span (key, t0));
   x

@@ -41,5 +41,20 @@ val progress : unit -> unit
 (** mark the completion of a high-level operation; feeds {!Sim.run}'s
     watchdog.  A no-op unless the run enables one. *)
 
+val probing : unit -> bool
+(** whether the current run carries a probe ({!Sim.run}'s [?probe]).
+    Instrumentation must guard any probe-only work (extra [now] calls,
+    key formatting) behind this so unprobed runs pay nothing. *)
+
+val count : string -> int -> unit
+(** [count key v] records a sample into the probe's metrics registry;
+    free (not even an effect) when {!probing} is false.  Use the count
+    of samples as a counter and their values as the distribution. *)
+
+val mark : string -> int -> unit
+(** [mark name arg] drops an instant annotation into the probe's event
+    trace; free when {!probing} is false. *)
+
 val timed : string -> (unit -> 'a) -> 'a
-(** [timed key f] runs [f] and records its latency in cycles under [key]. *)
+(** [timed key f] runs [f] and records its latency in cycles under
+    [key].  Under a probe, additionally emits a completed span event. *)

@@ -13,6 +13,12 @@ type t = {
   wait_by_line : (int, int) Hashtbl.t;
   writer_by_line : (int, int) Hashtbl.t;
   node_factor : int array; (* per memory module service-time multiplier *)
+  (* observability: symbolic names for allocated ranges (host-side
+     metadata, registration order preserved) and per-line traffic
+     counters maintained only while a probe is active *)
+  mutable labels : (int * int * string) list;
+  traffic_by_line : (int, int) Hashtbl.t;
+  inval_by_line : (int, int) Hashtbl.t;
 }
 
 let create machine =
@@ -31,6 +37,9 @@ let create machine =
     wait_by_line = Hashtbl.create 64;
     writer_by_line = Hashtbl.create 64;
     node_factor = Array.make machine.Machine.mem_modules 1;
+    labels = [];
+    traffic_by_line = Hashtbl.create 64;
+    inval_by_line = Hashtbl.create 64;
   }
 
 let machine t = t.machine
@@ -60,9 +69,29 @@ let alloc t n =
 
 let words_allocated t = t.next_free
 
+let label t ~addr ~len name =
+  if len <= 0 then invalid_arg "Mem.label: len must be positive";
+  t.labels <- (addr, len, name) :: t.labels
+
+let name_of t addr =
+  (* most recent registration wins, so a structure may refine a name a
+     lower layer gave its words *)
+  List.find_map
+    (fun (a, len, name) ->
+      if addr >= a && addr < a + len then
+        Some (if addr = a then name else Printf.sprintf "%s+%d" name (addr - a))
+      else None)
+    t.labels
+
+let bump tbl addr =
+  Hashtbl.replace tbl addr
+    (1 + Option.value (Hashtbl.find_opt tbl addr) ~default:0)
+
 let peek t addr = t.data.(addr)
 
-let invalidate t addr = t.version.(addr) <- t.version.(addr) + 1
+let invalidate t addr =
+  t.version.(addr) <- t.version.(addr) + 1;
+  if !Probe.active then bump t.inval_by_line addr
 
 let notify t addr ~change_time =
   match Hashtbl.find_opt t.watchers addr with
@@ -119,12 +148,14 @@ let read t ~proc ~now addr =
       (now + t.machine.Machine.cache_hit, t.data.(addr))
   | _ ->
       t.misses <- t.misses + 1;
+      if !Probe.active then bump t.traffic_by_line addr;
       let served = serve t ~now ~addr ~occ:t.machine.Machine.read_occupancy in
       Hashtbl.replace cache addr t.version.(addr);
       (served + miss_latency t ~proc ~addr, t.data.(addr))
 
 let update t ~proc ~now ~addr ~occ f =
   t.updates <- t.updates + 1;
+  if !Probe.active then bump t.traffic_by_line addr;
   Hashtbl.replace t.writer_by_line addr proc;
   let served = serve t ~now ~addr ~occ in
   let old = t.data.(addr) in
@@ -172,3 +203,25 @@ let hot_lines t k =
   Hashtbl.fold (fun addr w acc -> (addr, w) :: acc) t.wait_by_line []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
   |> List.filteri (fun i _ -> i < k)
+
+let line_traffic t addr =
+  Option.value (Hashtbl.find_opt t.traffic_by_line addr) ~default:0
+
+let line_invalidations t addr =
+  Option.value (Hashtbl.find_opt t.inval_by_line addr) ~default:0
+
+let line_wait t addr =
+  Option.value (Hashtbl.find_opt t.wait_by_line addr) ~default:0
+
+let line_profile t =
+  let seen = Hashtbl.create 256 in
+  let collect tbl = Hashtbl.iter (fun a _ -> Hashtbl.replace seen a ()) tbl in
+  collect t.traffic_by_line;
+  collect t.wait_by_line;
+  Hashtbl.fold
+    (fun addr () acc ->
+      (addr, line_wait t addr, line_traffic t addr, line_invalidations t addr)
+      :: acc)
+    seen []
+  |> List.sort (fun (a1, w1, t1, _) (a2, w2, t2, _) ->
+         compare (w2, t2, a1) (w1, t1, a2))

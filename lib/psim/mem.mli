@@ -41,6 +41,21 @@ val poke : t -> int -> int -> unit
 
 val words_allocated : t -> int
 
+(** {1 Symbolic labels (observability)}
+
+    Structures register human names for the ranges they allocate so the
+    contention profiler can attribute hot lines (e.g. the MCS tail word
+    of SimpleTree's root counter instead of a bare address).  Labels are
+    host-side metadata with no effect on simulation. *)
+
+val label : t -> addr:int -> len:int -> string -> unit
+(** [label t ~addr ~len name] names the [len] words starting at [addr].
+    A later registration overrides an earlier one where they overlap. *)
+
+val name_of : t -> int -> string option
+(** [name_of t addr] is the most recent label covering [addr], suffixed
+    ["+k"] for the k-th word of a multi-word range. *)
+
 val degrade_node : t -> node:int -> factor:int -> unit
 (** [degrade_node t ~node ~factor] makes memory module [node] serve every
     request [factor] times slower (occupancy and miss latency alike) —
@@ -85,6 +100,24 @@ val queue_wait : t -> int
 val hot_lines : t -> int -> (int * int) list
 (** [hot_lines t k]: the [k] addresses with the most accumulated queueing
     delay, hottest first — a hot-spot profile of the run *)
+
+(** {1 Per-line traffic (probe-gated)}
+
+    Maintained only while {!Probe.active} is set (i.e. under a probed
+    {!Sim.run}), so default runs pay nothing.  Traffic counts the
+    coherence transactions a line caused (read misses + writes +
+    atomics); invalidations count version bumps (cached copies killed). *)
+
+val line_traffic : t -> int -> int
+val line_invalidations : t -> int -> int
+
+val line_wait : t -> int -> int
+(** accumulated queueing delay of one line (always maintained) *)
+
+val line_profile : t -> (int * int * int * int) list
+(** every line that saw traffic or queueing, as
+    [(addr, wait, traffic, invalidations)], sorted hottest first
+    (by wait, then traffic; address breaks ties deterministically) *)
 
 val last_writer : t -> int -> int option
 (** [last_writer t addr] is the processor whose write/atomic most recently

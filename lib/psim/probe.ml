@@ -1,0 +1,31 @@
+type mem_kind = Read | Write | Swap | Cas_ok | Cas_fail | Faa
+
+let mem_kind_name = function
+  | Read -> "read"
+  | Write -> "write"
+  | Swap -> "swap"
+  | Cas_ok -> "cas"
+  | Cas_fail -> "cas!"
+  | Faa -> "faa"
+
+type ev =
+  | Mem_op of { kind : mem_kind; addr : int; node : int; issued : int }
+  | Park of { addr : int }
+  | Wake of { addr : int }
+  | Stall of { until : int }
+  | Crash
+  | Mark of { name : string; arg : int }
+  | Span of { name : string; start : int }
+
+type sink = { emit : proc:int -> time:int -> ev -> unit }
+
+type t = { sink : sink option; metrics : Stats.t option }
+
+let make ?sink ?metrics () = { sink; metrics }
+
+(* True while a probed Sim.run is executing.  Library code guards its
+   instrumentation effects on this flag, so unprobed runs perform no
+   extra effects and allocate nothing.  Safe as a global because the
+   engine is single-threaded on the host: simulated processors are
+   continuations multiplexed on one domain, and runs never nest. *)
+let active = ref false

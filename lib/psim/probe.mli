@@ -1,0 +1,48 @@
+(** Observability hook for {!Sim.run}: event tracing and a metrics
+    registry, both strictly passive.
+
+    A probe never perturbs a run: emitting events and recording metrics
+    consumes no simulated cycles, no RNG draws and pushes no engine
+    events, so a probed run produces bit-identical results (stats, final
+    time, event order) to the same run without the probe.  Within one
+    seed the emitted event stream is itself deterministic, which is what
+    makes trace files byte-reproducible. *)
+
+(** What a memory-effect event was.  CAS is split by outcome so failure
+    rates fall out of counting. *)
+type mem_kind = Read | Write | Swap | Cas_ok | Cas_fail | Faa
+
+val mem_kind_name : mem_kind -> string
+
+(** The event vocabulary.
+
+    [Mem_op] is emitted by the engine for every costed memory effect:
+    [addr] the line, [node] its home memory module, [issued] the cycle
+    the processor issued it (the event's [time] is its completion).
+    [Park]/[Wake] bracket a {!Sim.Wait_change} blocking on a cached
+    line.  [Stall] and [Crash] record scheduler-policy decisions
+    (bounded pause until a cycle; crash-stop).  [Mark] is an instant
+    annotation from instrumented library code ({!Api.mark}); [Span] a
+    completed timed interval ({!Api.timed} under a probe). *)
+type ev =
+  | Mem_op of { kind : mem_kind; addr : int; node : int; issued : int }
+  | Park of { addr : int }
+  | Wake of { addr : int }
+  | Stall of { until : int }
+  | Crash
+  | Mark of { name : string; arg : int }
+  | Span of { name : string; start : int }
+
+type sink = { emit : proc:int -> time:int -> ev -> unit }
+
+type t = { sink : sink option; metrics : Stats.t option }
+(** [sink] receives the event stream; [metrics] receives the named
+    counters/histograms recorded via {!Api.count} and by the engine
+    (CAS outcome counts).  Either may be absent. *)
+
+val make : ?sink:sink -> ?metrics:Stats.t -> unit -> t
+
+val active : bool ref
+(** Set by {!Sim.run} for the duration of a probed run; read via
+    {!Api.probing}.  Instrumented code must consult it before doing any
+    probe-only work so that unprobed runs pay nothing. *)

@@ -12,6 +12,9 @@ type _ Effect.t +=
   | Flip : bool Effect.t
   | Record : (string * int) -> unit Effect.t
   | Progress : unit Effect.t
+  | Count : (string * int) -> unit Effect.t
+  | Mark : (string * int) -> unit Effect.t
+  | Span : (string * int) -> unit Effect.t
 
 exception Deadlock of string
 exception Cycle_limit of int
@@ -72,7 +75,7 @@ type result = {
 (* engine-side view of each processor, for the progress diagnosis *)
 type pstate = Running | Parked of int | Crashed | Done
 
-let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
+let run ?machine ?(seed = 1) ?(policy = Sched.fifo) ?probe
     ?(max_cycles = 2_000_000_000) ?watchdog ?(max_wait_wakeups = 1_000_000)
     ~nprocs ~setup ~program () =
   let machine =
@@ -80,6 +83,12 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
   in
   let mem = Mem.create machine in
   let shared = setup mem in
+  let sink = match probe with Some p -> p.Probe.sink | None -> None in
+  let metrics = match probe with Some p -> p.Probe.metrics | None -> None in
+  (* probe emission is strictly passive: no simulated cycles, no RNG
+     draws, no engine events — a probed run is bit-identical to the same
+     run without the probe *)
+  let home addr = Machine.home_module machine addr in
   let q = Evq.create () in
   let stats = Stats.create () in
   let master = Rng.make seed in
@@ -133,6 +142,13 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
     state.(pid) <- Crashed;
     incr faulted
   in
+  let emit_mem pid kind addr ~issued ~finish =
+    match sink with
+    | None -> ()
+    | Some s ->
+        s.Probe.emit ~proc:pid ~time:finish
+          (Probe.Mem_op { kind; addr; node = home addr; issued })
+  in
   let handler pid : (unit, unit) Effect.Deep.handler =
     let open Effect.Deep in
     let resume_at : type a. Sched.op -> int -> (a, unit) continuation -> a -> unit =
@@ -140,11 +156,19 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
       let verdict = policy { Sched.proc = pid; time; step = !step; op } in
       incr step;
       match verdict with
-      | Sched.Stall_forever -> crash pid
+      | Sched.Stall_forever ->
+          (match sink with
+          | Some s -> s.Probe.emit ~proc:pid ~time Probe.Crash
+          | None -> ());
+          crash pid
       | Sched.Pause n ->
-          let time = time + max 0 n in
-          Evq.push q ~time (fun () ->
-              ptime.(pid) <- time;
+          let until = time + max 0 n in
+          (match sink with
+          | Some s when n > 0 ->
+              s.Probe.emit ~proc:pid ~time (Probe.Stall { until })
+          | _ -> ());
+          Evq.push q ~time:until (fun () ->
+              ptime.(pid) <- until;
               continue k v)
       | Sched.Run d ->
           let time = time + max 0 d.Sched.delay in
@@ -158,33 +182,48 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
           Some
             (fun k ->
               last_access.(pid) <- (Sched.Read, addr);
-              let t, v = Mem.read mem ~proc:pid ~now:ptime.(pid) addr in
+              let issued = ptime.(pid) in
+              let t, v = Mem.read mem ~proc:pid ~now:issued addr in
+              emit_mem pid Probe.Read addr ~issued ~finish:t;
               resume_at Sched.Read t k v)
       | Write (addr, v) ->
           Some
             (fun k ->
               last_access.(pid) <- (Sched.Write, addr);
-              let t = Mem.write mem ~proc:pid ~now:ptime.(pid) addr v in
+              let issued = ptime.(pid) in
+              let t = Mem.write mem ~proc:pid ~now:issued addr v in
+              emit_mem pid Probe.Write addr ~issued ~finish:t;
               resume_at Sched.Write t k ())
       | Swap (addr, v) ->
           Some
             (fun k ->
               last_access.(pid) <- (Sched.Swap, addr);
-              let t, old = Mem.swap mem ~proc:pid ~now:ptime.(pid) addr v in
+              let issued = ptime.(pid) in
+              let t, old = Mem.swap mem ~proc:pid ~now:issued addr v in
+              emit_mem pid Probe.Swap addr ~issued ~finish:t;
               resume_at Sched.Swap t k old)
       | Cas (addr, expected, desired) ->
           Some
             (fun k ->
               last_access.(pid) <- (Sched.Cas, addr);
+              let issued = ptime.(pid) in
               let t, ok =
-                Mem.cas mem ~proc:pid ~now:ptime.(pid) addr ~expected ~desired
+                Mem.cas mem ~proc:pid ~now:issued addr ~expected ~desired
               in
+              (match metrics with
+              | Some m -> Stats.record m (if ok then "cas.ok" else "cas.fail") 1
+              | None -> ());
+              emit_mem pid
+                (if ok then Probe.Cas_ok else Probe.Cas_fail)
+                addr ~issued ~finish:t;
               resume_at Sched.Cas t k ok)
       | Faa (addr, d) ->
           Some
             (fun k ->
               last_access.(pid) <- (Sched.Faa, addr);
-              let t, old = Mem.faa mem ~proc:pid ~now:ptime.(pid) addr d in
+              let issued = ptime.(pid) in
+              let t, old = Mem.faa mem ~proc:pid ~now:issued addr d in
+              emit_mem pid Probe.Faa addr ~issued ~finish:t;
               resume_at Sched.Faa t k old)
       | Work n ->
           Some
@@ -208,7 +247,11 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
                 in
                 incr step;
                 match verdict with
-                | Sched.Stall_forever -> crash pid
+                | Sched.Stall_forever ->
+                    (match sink with
+                    | Some s -> s.Probe.emit ~proc:pid ~time:t Probe.Crash
+                    | None -> ());
+                    crash pid
                 | Sched.Pause _ | Sched.Run _ ->
                     let t, weight =
                       match verdict with
@@ -222,10 +265,20 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
                         let current = Mem.peek mem addr in
                         if current <> v0 then begin
                           ptime.(pid) <- t;
+                          (match (sink, state.(pid)) with
+                          | Some s, Parked _ ->
+                              s.Probe.emit ~proc:pid ~time:t (Probe.Wake { addr })
+                          | _ -> ());
                           state.(pid) <- Running;
                           continue k current
                         end
                         else begin
+                          (match (sink, state.(pid)) with
+                          | Some s, Running ->
+                              (* first unsuccessful check: the processor
+                                 settles onto its cached copy *)
+                              s.Probe.emit ~proc:pid ~time:t (Probe.Park { addr })
+                          | _ -> ());
                           state.(pid) <- Parked addr;
                           Mem.watch mem ~addr ~wake:(fun change ->
                               attempt (if change > t then change else t))
@@ -246,6 +299,31 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
             (fun k ->
               last_progress := max !last_progress ptime.(pid);
               continue k ())
+      | Count (key, v) ->
+          Some
+            (fun k ->
+              (match metrics with
+              | Some m -> Stats.record m key v
+              | None -> ());
+              continue k ())
+      | Mark (name, arg) ->
+          Some
+            (fun k ->
+              (match sink with
+              | Some s ->
+                  s.Probe.emit ~proc:pid ~time:ptime.(pid)
+                    (Probe.Mark { name; arg })
+              | None -> ());
+              continue k ())
+      | Span (name, start) ->
+          Some
+            (fun k ->
+              (match sink with
+              | Some s ->
+                  s.Probe.emit ~proc:pid ~time:ptime.(pid)
+                    (Probe.Span { name; start })
+              | None -> ());
+              continue k ())
       | _ -> None
     in
     {
@@ -257,6 +335,9 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo)
       effc;
     }
   in
+  let prev_active = !Probe.active in
+  Probe.active := probe <> None;
+  Fun.protect ~finally:(fun () -> Probe.active := prev_active) @@ fun () ->
   for pid = 0 to nprocs - 1 do
     Effect.Deep.match_with (fun () -> program shared pid) () (handler pid)
   done;

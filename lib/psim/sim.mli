@@ -30,6 +30,14 @@ type _ Effect.t +=
   | Progress : unit Effect.t
       (** operation-completion marker: feeds the watchdog.  Workloads
           perform it after every finished high-level operation. *)
+  | Count : (string * int) -> unit Effect.t
+      (** record a sample into the attached probe's metrics registry;
+          dropped when the run carries no probe.  Perform via
+          {!Api.count}, which guards on {!Api.probing}. *)
+  | Mark : (string * int) -> unit Effect.t
+      (** instant trace annotation (name, argument) at the current cycle *)
+  | Span : (string * int) -> unit Effect.t
+      (** completed interval (name, start cycle) ending now *)
 
 exception Deadlock of string
 (** raised when runnable processors remain but no event is pending and no
@@ -80,6 +88,7 @@ val run :
   ?machine:Machine.t ->
   ?seed:int ->
   ?policy:Sched.t ->
+  ?probe:Probe.t ->
   ?max_cycles:int ->
   ?watchdog:int ->
   ?max_wait_wakeups:int ->
@@ -99,6 +108,14 @@ val run :
     hooks {!Pqexplore} and {!Pqfault} build on.  With the default
     policy, runs are bit-for-bit identical to the engine without the
     hook.
+
+    [probe] (off by default) attaches an observability probe
+    ({!Probe.t}): the engine streams every memory effect, park/wake and
+    scheduler decision into its sink, and records CAS outcomes (plus
+    whatever instrumented code sends through {!Api.count}) into its
+    metrics registry.  Probes are strictly passive — attaching one
+    changes no simulated result, and the default path performs no
+    probe work at all.
 
     [watchdog] (off by default) aborts the run with {!Progress_failure}
     when no operation completes (no {!Progress} effect is performed) for

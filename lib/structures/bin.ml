@@ -2,10 +2,18 @@ open Pqsim
 
 type t = { lock : Pqsync.Mcs.t; size : int; elems : int; cap : int }
 
-let create mem ~nprocs ~cap =
-  let lock = Pqsync.Mcs.create mem ~nprocs in
+let create ?name mem ~nprocs ~cap =
+  let lock =
+    Pqsync.Mcs.create ?name:(Option.map (fun n -> n ^ ".lock") name) mem
+      ~nprocs
+  in
   let size = Mem.alloc mem 1 in
   let elems = Mem.alloc mem cap in
+  (match name with
+  | Some n ->
+      Mem.label mem ~addr:size ~len:1 (n ^ ".size");
+      Mem.label mem ~addr:elems ~len:cap (n ^ ".elems")
+  | None -> ());
   { lock; size; elems; cap }
 
 let insert t e =

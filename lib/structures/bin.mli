@@ -4,7 +4,9 @@
 
 type t
 
-val create : Pqsim.Mem.t -> nprocs:int -> cap:int -> t
+val create : ?name:string -> Pqsim.Mem.t -> nprocs:int -> cap:int -> t
+(** [?name] labels the size word, element array and lock for the
+    contention profiler *)
 
 val insert : t -> int -> bool
 (** [insert b e] adds [e]; false when the bin is full. *)

@@ -2,10 +2,16 @@ open Pqsim
 
 type t = { lock : Pqsync.Mcs.t; value : int }
 
-let create mem ~nprocs ~init =
-  let lock = Pqsync.Mcs.create mem ~nprocs in
+let create ?name mem ~nprocs ~init =
+  let lock =
+    Pqsync.Mcs.create ?name:(Option.map (fun n -> n ^ ".lock") name) mem
+      ~nprocs
+  in
   let value = Mem.alloc mem 1 in
   Mem.poke mem value init;
+  (match name with
+  | Some n -> Mem.label mem ~addr:value ~len:1 (n ^ ".value")
+  | None -> ());
   { lock; value }
 
 let get t = Api.read t.value

@@ -6,7 +6,10 @@
 
 type t
 
-val create : Pqsim.Mem.t -> nprocs:int -> init:int -> t
+val create : ?name:string -> Pqsim.Mem.t -> nprocs:int -> init:int -> t
+(** [?name] labels the value word ([name.value]) and the lock's words for
+    the contention profiler *)
+
 val get : t -> int
 val peek : Pqsim.Mem.t -> t -> int
 val fai : t -> int

@@ -2,9 +2,14 @@ open Pqsim
 
 type t = { size_a : int; data : int; cap : int }
 
-let create mem ~cap =
+let create ?name mem ~cap =
   let size_a = Mem.alloc mem 1 in
   let data = Mem.alloc mem cap in
+  (match name with
+  | Some n ->
+      Mem.label mem ~addr:size_a ~len:1 (n ^ ".size");
+      Mem.label mem ~addr:data ~len:cap (n ^ ".data")
+  | None -> ());
   { size_a; data; cap }
 
 let size t = Api.read t.size_a

@@ -7,7 +7,10 @@
 
 type t
 
-val create : Pqsim.Mem.t -> cap:int -> t
+val create : ?name:string -> Pqsim.Mem.t -> cap:int -> t
+(** [?name] labels the size word and backing array for the contention
+    profiler *)
+
 val size : t -> int
 (** costed read *)
 

@@ -16,19 +16,30 @@ type t = { nodes : node array; head : node; max_level : int }
 
 let fully_threaded = 2
 
-let create mem ~nprocs ~npriorities ~bin_cap ~seed =
+let create ?name mem ~nprocs ~npriorities ~bin_cap ~seed =
   let rec levels_for n acc = if n <= 1 then acc else levels_for (n / 2) (acc + 1) in
   let max_level = max 2 (levels_for npriorities 1) in
   let rng = Rng.make (seed lxor 0x5caff01d) in
+  let sub part id =
+    Option.map (fun n -> Printf.sprintf "%s.%s[%d]" n part id) name
+  in
   let mk_node ~id ~npri ~level ~with_bin =
-    let lock = Pqsync.Mcs.create mem ~nprocs in
+    let lock = Pqsync.Mcs.create ?name:(sub "node_lock" id) mem ~nprocs in
     let state = Mem.alloc mem 1 in
     let fwd = Mem.alloc mem level in
+    (match name with
+    | Some n ->
+        Mem.label mem ~addr:state ~len:1
+          (Printf.sprintf "%s.state[%d]" n id);
+        Mem.label mem ~addr:fwd ~len:level (Printf.sprintf "%s.fwd[%d]" n id)
+    | None -> ());
     for l = 0 to level - 1 do
       Mem.poke mem (fwd + l) nil
     done;
     let nbin =
-      if with_bin then Some (Bin.create mem ~nprocs ~cap:bin_cap) else None
+      if with_bin then
+        Some (Bin.create ?name:(sub "bin" npri) mem ~nprocs ~cap:bin_cap)
+      else None
     in
     { id; npri; level; lock; state; fwd; nbin }
   in

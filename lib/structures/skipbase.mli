@@ -17,7 +17,15 @@ type t
 type node
 
 val create :
-  Pqsim.Mem.t -> nprocs:int -> npriorities:int -> bin_cap:int -> seed:int -> t
+  ?name:string ->
+  Pqsim.Mem.t ->
+  nprocs:int ->
+  npriorities:int ->
+  bin_cap:int ->
+  seed:int ->
+  t
+(** [?name] labels each node's lock, state word, forward pointers and bin
+    for the contention profiler *)
 
 val node_of_pri : t -> int -> node
 val bin : node -> Bin.t

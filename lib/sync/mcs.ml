@@ -3,19 +3,26 @@ open Pqsim
 (* Layout: [tail][node_0 locked][node_0 next][node_1 locked][node_1 next]...
    A node address identifies the waiter; tail = 0 means free. *)
 
-type t = { tail : int; nodes : int }
+type t = { tail : int; nodes : int; acq_at : int array }
 
 let words ~nprocs = 1 + (2 * nprocs)
 
-let create mem ~nprocs =
+let create ?name mem ~nprocs =
   let tail = Mem.alloc mem (words ~nprocs) in
-  { tail; nodes = tail + 1 }
+  (match name with
+  | Some n ->
+      Mem.label mem ~addr:tail ~len:1 (n ^ ".tail");
+      Mem.label mem ~addr:(tail + 1) ~len:(2 * nprocs) (n ^ ".nodes")
+  | None -> ());
+  { tail; nodes = tail + 1; acq_at = Array.make nprocs 0 }
 
 let node t pid = t.nodes + (2 * pid)
 let locked_of node = node
 let next_of node = node + 1
 
 let acquire t =
+  let probing = Api.probing () in
+  let t0 = if probing then Api.now () else 0 in
   let me = node t (Api.self ()) in
   Api.write (next_of me) 0;
   Api.write (locked_of me) 1;
@@ -23,14 +30,31 @@ let acquire t =
   if pred <> 0 then begin
     Api.write (next_of pred) me;
     ignore (Api.await (locked_of me) ~until:(fun v -> v = 0))
+  end;
+  if probing then begin
+    let acquired = Api.now () in
+    Api.count "lock.acquire" 1;
+    Api.count "lock.wait" (acquired - t0);
+    if pred <> 0 then Api.count "lock.contend" 1;
+    t.acq_at.(Api.self ()) <- acquired
   end
 
 let try_acquire t =
   let me = node t (Api.self ()) in
   Api.write (next_of me) 0;
-  Api.cas t.tail ~expected:0 ~desired:me
+  let ok = Api.cas t.tail ~expected:0 ~desired:me in
+  (if ok && Api.probing () then begin
+     Api.count "lock.acquire" 1;
+     Api.count "lock.wait" 0;
+     t.acq_at.(Api.self ()) <- Api.now ()
+   end);
+  ok
 
 let release t =
+  (if Api.probing () then begin
+     Api.count "lock.release" 1;
+     Api.count "lock.hold" (Api.now () - t.acq_at.(Api.self ()))
+   end);
   let me = node t (Api.self ()) in
   let succ = Api.read (next_of me) in
   if succ <> 0 then Api.write (locked_of succ) 0

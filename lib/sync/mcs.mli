@@ -9,7 +9,13 @@
 
 type t
 
-val create : Pqsim.Mem.t -> nprocs:int -> t
+val create : ?name:string -> Pqsim.Mem.t -> nprocs:int -> t
+(** [?name] registers symbolic labels ([name.tail], [name.nodes]) for the
+    lock's words with {!Pqsim.Mem.label}, so the contention profiler can
+    attribute them.  Under a probe, acquire/release report the metrics
+    [lock.acquire], [lock.release], [lock.contend] (arrived to a
+    non-empty queue), [lock.wait] (cycles from call to ownership) and
+    [lock.hold] (cycles held). *)
 
 val acquire : t -> unit
 (** must be called from processor context; the caller's node is selected by

@@ -1,22 +1,58 @@
 open Pqsim
 
-type t = int (* address of the lock word: 0 free, 1 held *)
+(* The lock word: 0 free, 1 held.  [acq_at] is host-side probe bookkeeping
+   (acquisition cycle per processor) and is only touched under a probe. *)
 
-let create mem = Mem.alloc mem 1
+type t = { word : int; acq_at : (int, int) Hashtbl.t }
 
-let try_acquire t = Api.cas t ~expected:0 ~desired:1
+let create ?name mem =
+  let word = Mem.alloc mem 1 in
+  (match name with
+  | Some n -> Mem.label mem ~addr:word ~len:1 n
+  | None -> ());
+  { word; acq_at = Hashtbl.create 8 }
+
+let try_raw t = Api.cas t.word ~expected:0 ~desired:1
+
+let try_acquire t =
+  let ok = try_raw t in
+  (if ok && Api.probing () then begin
+     Api.count "lock.acquire" 1;
+     Api.count "lock.wait" 0;
+     Hashtbl.replace t.acq_at (Api.self ()) (Api.now ())
+   end);
+  ok
 
 let acquire t =
+  let probing = Api.probing () in
+  let t0 = if probing then Api.now () else 0 in
+  let contended = ref false in
   let b = Backoff.make () in
   let rec go () =
-    if not (try_acquire t) then begin
+    if not (try_raw t) then begin
+      contended := true;
       (* test loop on the cached copy until the lock looks free *)
-      ignore (Api.await t ~until:(fun v -> v = 0));
+      ignore (Api.await t.word ~until:(fun v -> v = 0));
       Backoff.once b;
       go ()
     end
   in
-  go ()
+  go ();
+  if probing then begin
+    let acquired = Api.now () in
+    Api.count "lock.acquire" 1;
+    Api.count "lock.wait" (acquired - t0);
+    if !contended then Api.count "lock.contend" 1;
+    Hashtbl.replace t.acq_at (Api.self ()) acquired
+  end
 
-let release t = Api.write t 0
-let held t = Api.read t = 1
+let release t =
+  (if Api.probing () then begin
+     Api.count "lock.release" 1;
+     match Hashtbl.find_opt t.acq_at (Api.self ()) with
+     | Some a -> Api.count "lock.hold" (Api.now () - a)
+     | None -> ()
+   end);
+  Api.write t.word 0
+
+let held t = Api.read t.word = 1

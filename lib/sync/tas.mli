@@ -6,7 +6,10 @@
 
 type t
 
-val create : Pqsim.Mem.t -> t
+val create : ?name:string -> Pqsim.Mem.t -> t
+(** [?name] labels the lock word for the contention profiler.  Under a
+    probe, the same [lock.*] metrics as {!Mcs} are reported. *)
+
 val acquire : t -> unit
 val try_acquire : t -> bool
 (** non-blocking; true on success *)

@@ -1,0 +1,126 @@
+let schema_version = 1
+
+type series = { name : string; points : (int * float) list }
+
+type figure = {
+  id : string;
+  title : string;
+  xlabel : string;
+  series : series list;
+}
+
+type t = {
+  paper : string;
+  seed : int;
+  scale : string;
+  figures : figure list;
+  metrics : (string * Json.t) list; (* free-form extras, e.g. per-queue derived metrics *)
+}
+
+let make ?(paper = "shavit-zemach-podc99") ?(metrics = []) ~seed ~scale figures
+    =
+  { paper; seed; scale; figures; metrics }
+
+let series_to_json s =
+  Json.Obj
+    [
+      ("name", Json.String s.name);
+      ( "points",
+        Json.List
+          (List.map
+             (fun (x, y) ->
+               Json.Obj [ ("x", Json.Int x); ("y", Json.Float y) ])
+             s.points) );
+    ]
+
+let figure_to_json f =
+  Json.Obj
+    [
+      ("id", Json.String f.id);
+      ("title", Json.String f.title);
+      ("xlabel", Json.String f.xlabel);
+      ("series", Json.List (List.map series_to_json f.series));
+    ]
+
+let to_json t =
+  Json.Obj
+    ([
+       ("schema_version", Json.Int schema_version);
+       ("paper", Json.String t.paper);
+       ("seed", Json.Int t.seed);
+       ("scale", Json.String t.scale);
+       ("figures", Json.List (List.map figure_to_json t.figures));
+     ]
+    @ if t.metrics = [] then [] else [ ("metrics", Json.Obj t.metrics) ])
+
+let to_string t = Json.to_string (to_json t)
+
+(* {1 Validation} — structural checks mirroring schema/bench.schema.json.
+   Hand-rolled because the toolchain ships no JSON-Schema engine; the
+   schema file documents the same contract for external consumers. *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let need ctx what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing or mistyped %s" ctx what)
+
+let v_string ctx key j =
+  need ctx (Printf.sprintf "string field %S" key)
+    (Option.bind (Json.member key j) Json.to_str)
+
+let v_int ctx key j =
+  need ctx (Printf.sprintf "integer field %S" key)
+    (Option.bind (Json.member key j) Json.to_int)
+
+let v_list ctx key j =
+  need ctx (Printf.sprintf "array field %S" key)
+    (Option.bind (Json.member key j) Json.to_list)
+
+let rec all ctx f i = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f (Printf.sprintf "%s[%d]" ctx i) x in
+      all ctx f (i + 1) rest
+
+let validate_point ctx j =
+  let* _ = v_int ctx "x" j in
+  let* _ =
+    need ctx "number field \"y\"" (Option.bind (Json.member "y" j) Json.to_float)
+  in
+  Ok ()
+
+let validate_series ctx j =
+  let* name = v_string ctx "name" j in
+  let ctx = Printf.sprintf "%s(%s)" ctx name in
+  let* points = v_list ctx "points" j in
+  all (ctx ^ ".points") validate_point 0 points
+
+let validate_figure ctx j =
+  let* id = v_string ctx "id" j in
+  let ctx = Printf.sprintf "%s(%s)" ctx id in
+  let* _ = v_string ctx "title" j in
+  let* _ = v_string ctx "xlabel" j in
+  let* series = v_list ctx "series" j in
+  if series = [] then Error (ctx ^ ": empty series list")
+  else all (ctx ^ ".series") validate_series 0 series
+
+let validate j =
+  let ctx = "BENCH" in
+  let* v = v_int ctx "schema_version" j in
+  if v <> schema_version then
+    Error
+      (Printf.sprintf "%s: schema_version %d, this tool understands %d" ctx v
+         schema_version)
+  else
+    let* _ = v_string ctx "paper" j in
+    let* _ = v_int ctx "seed" j in
+    let* _ = v_string ctx "scale" j in
+    let* figures = v_list ctx "figures" j in
+    if figures = [] then Error (ctx ^ ": empty figures list")
+    else all (ctx ^ ".figures") validate_figure 0 figures
+
+let validate_string s =
+  match Json.of_string s with
+  | Error msg -> Error ("not JSON: " ^ msg)
+  | Ok j -> validate j

@@ -1,0 +1,49 @@
+(** Machine-readable benchmark output (BENCH.json).
+
+    The figure harness renders human tables; this module captures the
+    same data points in a schema-stable JSON document so CI can archive
+    them and downstream tooling can diff runs.  The contract is described
+    by [schema/bench.schema.json] and enforced by {!validate} (the
+    toolchain has no JSON-Schema engine, so the checks are hand-rolled
+    and kept in sync with the schema file).
+
+    Serialization is deterministic: the same figures and seed produce the
+    same bytes. *)
+
+val schema_version : int
+
+type series = { name : string; points : (int * float) list }
+
+type figure = {
+  id : string;  (** stable identifier, e.g. "fig6" *)
+  title : string;
+  xlabel : string;
+  series : series list;
+}
+
+type t = {
+  paper : string;
+  seed : int;
+  scale : string;  (** "quick" | "full" | "tiny" — informational *)
+  figures : figure list;
+  metrics : (string * Json.t) list;  (** free-form extras *)
+}
+
+val make :
+  ?paper:string ->
+  ?metrics:(string * Json.t) list ->
+  seed:int ->
+  scale:string ->
+  figure list ->
+  t
+
+val to_json : t -> Json.t
+val to_string : t -> string
+
+val validate : Json.t -> (unit, string) result
+(** structural validation of a parsed document: required fields, types,
+    non-empty figures, each with non-empty series of (x:int, y:number)
+    points; rejects other [schema_version]s *)
+
+val validate_string : string -> (unit, string) result
+(** parse + validate *)

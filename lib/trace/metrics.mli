@@ -1,0 +1,40 @@
+(** Derived rates from a probed run's metrics registry.
+
+    Instrumented library code ({!Pqsync.Mcs}, {!Pqsync.Tas},
+    {!Pqfunnel.Engine}, {!Pqcounters.Combtree}) reports raw counters and
+    latency samples into the probe's {!Pqsim.Stats.t}; this module turns
+    them into the paper-level quantities: combining rate, elimination
+    rate, CAS failure rate, lock wait/hold distributions. *)
+
+type derived = {
+  cas_ok : int;
+  cas_fail : int;
+  cas_failure_rate : float;  (** failed / all CAS *)
+  lock_acquires : int;
+  lock_releases : int;
+  lock_contended : int;  (** acquisitions that found the lock taken *)
+  lock_wait_total : int;  (** cycles spent waiting for locks, summed *)
+  lock_wait_mean : float;
+  lock_wait_p99 : int;
+  lock_hold_mean : float;
+  lock_hold_p99 : int;
+  funnel_ops : int;
+  funnel_combined : int;
+  funnel_eliminated : int;  (** pairs; each finishes two operations *)
+  funnel_central : int;
+  funnel_declined : int;
+  funnel_contended : int;
+  combining_rate : float;  (** combined / ops *)
+  elimination_rate : float;  (** (2 * eliminated) / ops *)
+  comb_ops : int;
+  comb_absorbed : int;
+  comb_central : int;
+  comb_combining_rate : float;  (** absorbed / ops *)
+}
+
+val derive : Pqsim.Stats.t -> derived
+(** missing keys yield zero counts and 0.0 rates *)
+
+val to_json : derived -> Json.t
+val pp : Format.formatter -> derived -> unit
+(** human-readable block; sections with no data are omitted *)

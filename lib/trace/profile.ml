@@ -1,0 +1,60 @@
+open Pqsim
+
+type row = {
+  addr : int;
+  name : string option;
+  wait : int;
+  traffic : int;
+  invalidations : int;
+}
+
+let of_mem ?(top = 20) mem =
+  let rows =
+    List.map
+      (fun (addr, wait, traffic, invalidations) ->
+        { addr; name = Mem.name_of mem addr; wait; traffic; invalidations })
+      (Mem.line_profile mem)
+  in
+  List.filteri (fun i _ -> i < top) rows
+
+let find rows prefix =
+  List.find_opt
+    (fun r ->
+      match r.name with
+      | Some n ->
+          String.length n >= String.length prefix
+          && String.sub n 0 (String.length prefix) = prefix
+      | None -> false)
+    rows
+
+let label r =
+  match r.name with Some n -> n | None -> Printf.sprintf "0x%x" r.addr
+
+let pp ppf rows =
+  let width =
+    List.fold_left (fun w r -> max w (String.length (label r))) 12 rows
+  in
+  Format.fprintf ppf "@[<v>%-*s %10s %10s %10s@,"
+    width "line" "wait(cyc)" "traffic" "invals";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-*s %10d %10d %10d@,"
+        width (label r) r.wait r.traffic r.invalidations)
+    rows;
+  Format.fprintf ppf "@]"
+
+let to_json rows =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           ([ ("addr", Json.Int r.addr) ]
+           @ (match r.name with
+             | Some n -> [ ("line", Json.String n) ]
+             | None -> [])
+           @ [
+               ("wait", Json.Int r.wait);
+               ("traffic", Json.Int r.traffic);
+               ("invalidations", Json.Int r.invalidations);
+             ]))
+       rows)

@@ -1,0 +1,29 @@
+(** Contention profiler: the "hottest cache lines" of a probed run.
+
+    Built from {!Pqsim.Mem.line_profile} (per-line queueing delay always;
+    traffic and invalidation counts collected only under a probe) with
+    addresses resolved to the symbolic names structures registered via
+    {!Pqsim.Mem.label} — e.g. [SimpleTree.counter[1].lock.tail] for the
+    MCS tail word of SimpleTree's root counter. *)
+
+type row = {
+  addr : int;
+  name : string option;  (** symbolic name, when the line was labelled *)
+  wait : int;  (** cycles ops queued behind this line *)
+  traffic : int;  (** coherence transactions (misses + updates) *)
+  invalidations : int;  (** cached copies killed by writes *)
+}
+
+val of_mem : ?top:int -> Pqsim.Mem.t -> row list
+(** hottest first (by wait, then traffic); [top] (default 20) rows *)
+
+val find : row list -> string -> row option
+(** first row whose symbolic name starts with the given prefix *)
+
+val label : row -> string
+(** symbolic name, or the address in hex *)
+
+val pp : Format.formatter -> row list -> unit
+(** aligned table *)
+
+val to_json : row list -> Json.t

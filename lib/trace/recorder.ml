@@ -1,0 +1,140 @@
+open Pqsim
+
+type event = { proc : int; time : int; ev : Probe.ev }
+
+type t = {
+  limit : int;
+  mutable rev : event list; (* newest first *)
+  mutable n : int;
+  mutable dropped : int;
+  metrics : Stats.t;
+}
+
+let create ?(limit = 1_000_000) () =
+  { limit; rev = []; n = 0; dropped = 0; metrics = Stats.create () }
+
+let push t ~proc ~time ev =
+  if t.n >= t.limit then t.dropped <- t.dropped + 1
+  else begin
+    t.rev <- { proc; time; ev } :: t.rev;
+    t.n <- t.n + 1
+  end
+
+let probe t =
+  Probe.make ~sink:{ Probe.emit = (fun ~proc ~time ev -> push t ~proc ~time ev) }
+    ~metrics:t.metrics ()
+
+let metrics t = t.metrics
+let events t = List.rev t.rev
+let length t = t.n
+let dropped t = t.dropped
+
+let line_name mem addr =
+  match mem with
+  | None -> None
+  | Some m -> Mem.name_of m addr
+
+(* Shared field builders: the Chrome and JSONL exporters must agree on
+   how an event is described, they differ only in framing. *)
+
+let addr_args mem addr ~node =
+  let base = [ ("addr", Json.Int addr); ("node", Json.Int node) ] in
+  match line_name mem addr with
+  | Some n -> base @ [ ("line", Json.String n) ]
+  | None -> base
+
+let chrome_event mem { proc; time; ev } =
+  let complete name ~ts ~dur args =
+    Json.Obj
+      ([
+         ("name", Json.String name);
+         ("ph", Json.String "X");
+         ("ts", Json.Int ts);
+         ("dur", Json.Int dur);
+         ("pid", Json.Int 0);
+         ("tid", Json.Int proc);
+       ]
+      @ if args = [] then [] else [ ("args", Json.Obj args) ])
+  in
+  let instant name args =
+    Json.Obj
+      ([
+         ("name", Json.String name);
+         ("ph", Json.String "i");
+         ("ts", Json.Int time);
+         ("s", Json.String "t");
+         ("pid", Json.Int 0);
+         ("tid", Json.Int proc);
+       ]
+      @ if args = [] then [] else [ ("args", Json.Obj args) ])
+  in
+  match ev with
+  | Probe.Mem_op { kind; addr; node; issued } ->
+      complete (Probe.mem_kind_name kind) ~ts:issued ~dur:(time - issued)
+        (addr_args mem addr ~node)
+  | Probe.Park { addr } ->
+      instant "park"
+        (match line_name mem addr with
+        | Some n -> [ ("addr", Json.Int addr); ("line", Json.String n) ]
+        | None -> [ ("addr", Json.Int addr) ])
+  | Probe.Wake { addr } -> instant "wake" [ ("addr", Json.Int addr) ]
+  | Probe.Stall { until } ->
+      complete "stall" ~ts:time ~dur:(until - time) []
+  | Probe.Crash -> instant "crash" []
+  | Probe.Mark { name; arg } -> instant name [ ("arg", Json.Int arg) ]
+  | Probe.Span { name; start } ->
+      complete name ~ts:start ~dur:(time - start) []
+
+let to_chrome ?mem t =
+  let evs = events t in
+  let max_proc = List.fold_left (fun m e -> max m e.proc) (-1) evs in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String "pqsim") ]);
+      ]
+    :: List.init (max_proc + 1) (fun p ->
+           Json.Obj
+             [
+               ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int 0);
+               ("tid", Json.Int p);
+               ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "P%d" p)) ]);
+             ])
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (meta @ List.map (chrome_event mem) evs));
+         ("displayTimeUnit", Json.String "ns");
+       ])
+
+let jsonl_event mem { proc; time; ev } =
+  let base kind rest =
+    Json.Obj ((("t", Json.Int time) :: ("p", Json.Int proc) :: ("ev", Json.String kind) :: rest))
+  in
+  match ev with
+  | Probe.Mem_op { kind; addr; node; issued } ->
+      base (Probe.mem_kind_name kind)
+        (addr_args mem addr ~node @ [ ("issued", Json.Int issued) ])
+  | Probe.Park { addr } -> base "park" [ ("addr", Json.Int addr) ]
+  | Probe.Wake { addr } -> base "wake" [ ("addr", Json.Int addr) ]
+  | Probe.Stall { until } -> base "stall" [ ("until", Json.Int until) ]
+  | Probe.Crash -> base "crash" []
+  | Probe.Mark { name; arg } ->
+      base "mark" [ ("name", Json.String name); ("arg", Json.Int arg) ]
+  | Probe.Span { name; start } ->
+      base "span" [ ("name", Json.String name); ("start", Json.Int start) ]
+
+let to_jsonl ?mem t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (Json.to_string (jsonl_event mem e));
+      Buffer.add_char b '\n')
+    (events t);
+  Buffer.contents b

@@ -1,0 +1,41 @@
+(** Event-trace recorder: buffers the event stream of a probed
+    {!Pqsim.Sim.run} and exports it.
+
+    Attach with [Sim.run ~probe:(Recorder.probe r)].  The recorder is
+    purely host-side: buffering consumes no simulated cycles and the
+    probed run's results are bit-identical to an unprobed one.  For one
+    seed the buffered stream — and therefore each export — is
+    byte-identical across runs.
+
+    Two export formats:
+    - {b Chrome trace} ([to_chrome]): a [traceEvents] JSON document
+      loadable in [chrome://tracing] / Perfetto, one track per simulated
+      processor; memory operations and spans are complete ("X") events
+      spanning issue to completion, parks/wakes/marks instants.
+    - {b JSONL} ([to_jsonl]): one compact JSON object per event in
+      emission order, for ad-hoc machine processing. *)
+
+type event = { proc : int; time : int; ev : Pqsim.Probe.ev }
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** [limit] (default 1e6) bounds the buffered events; past it new events
+    are counted in {!dropped} instead of stored. *)
+
+val probe : t -> Pqsim.Probe.t
+(** the probe to pass to [Sim.run]; its metrics registry is
+    {!metrics}[ t] *)
+
+val metrics : t -> Pqsim.Stats.t
+val events : t -> event list
+(** in emission order *)
+
+val length : t -> int
+val dropped : t -> int
+
+val to_chrome : ?mem:Pqsim.Mem.t -> t -> string
+(** [mem] (the run's final memory) resolves addresses to symbolic line
+    names registered via {!Pqsim.Mem.label} *)
+
+val to_jsonl : ?mem:Pqsim.Mem.t -> t -> string

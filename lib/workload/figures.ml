@@ -115,10 +115,40 @@ let fig7 scale =
     ~xlabel:"P" data;
   data
 
+type fig8_cell = {
+  f8_procs : int;
+  f8_priorities : int;
+  f8_queue : string;
+  f8_insert : float;
+  f8_delete : float;
+  f8_all : float;
+}
+
 let fig8 scale =
   let configs =
     [ (16, 16); (16, 128); (64, 16); (64, 128); (256, 16); (256, 128) ]
     |> List.filter (fun (p, _) -> p <= scale.max_procs)
+  in
+  let data =
+    List.concat_map
+      (fun (p, n) ->
+        List.map
+          (fun queue ->
+            progress "[bench] fig8 %s N=%d P=%d" queue n p;
+            let r =
+              Workload.run ~ops_per_proc:scale.ops
+                (Workload.spec ~queue ~nprocs:p ~npriorities:n)
+            in
+            {
+              f8_procs = p;
+              f8_priorities = n;
+              f8_queue = queue;
+              f8_insert = r.latency_insert;
+              f8_delete = r.latency_delete;
+              f8_all = r.latency_all;
+            })
+          Pqcore.Registry.scalable_names)
+      configs
   in
   let k v = Printf.sprintf "%.1f" (v /. 1000.) in
   let rows =
@@ -127,12 +157,14 @@ let fig8 scale =
         let cells =
           List.concat_map
             (fun queue ->
-              progress "[bench] fig8 %s N=%d P=%d" queue n p;
-              let r =
-                Workload.run ~ops_per_proc:scale.ops
-                  (Workload.spec ~queue ~nprocs:p ~npriorities:n)
+              let c =
+                List.find
+                  (fun c ->
+                    c.f8_procs = p && c.f8_priorities = n
+                    && c.f8_queue = queue)
+                  data
               in
-              [ k r.latency_insert; k r.latency_delete; k r.latency_all ])
+              [ k c.f8_insert; k c.f8_delete; k c.f8_all ])
             Pqcore.Registry.scalable_names
         in
         (string_of_int p :: string_of_int n :: cells))
@@ -149,7 +181,7 @@ let fig8 scale =
       "Figure 8: insert / delete-min latency break-down (thousands of \
        cycles)"
     ~header rows;
-  rows
+  data
 
 let fig9 scale ~nprocs ~queues ~title =
   let priorities = [ 2; 4; 8; 16; 32; 64; 128; 256; 512 ] in
@@ -461,3 +493,82 @@ let run_all scale =
   ignore (queue_depth scale);
   ignore (mix scale);
   ignore (sensitivity scale)
+
+(* ------------------------------------------------------------------ *)
+(* BENCH.json: the same runs, captured in schema-stable form.  Each
+   figure executes once — the text table prints as a side effect while
+   the series are collected for the machine-readable document. *)
+
+let bench_series data =
+  List.map
+    (fun s -> { Pqtrace.Bench_out.name = s.Table.label; points = s.points })
+    data
+
+let collect scale =
+  let fig id title xlabel data =
+    { Pqtrace.Bench_out.id; title; xlabel; series = bench_series data }
+  in
+  let fig8_figure =
+    let data = fig8 scale in
+    let configs =
+      List.sort_uniq compare
+        (List.map (fun c -> (c.f8_priorities, c.f8_queue)) data)
+    in
+    let series =
+      List.concat_map
+        (fun (n, queue) ->
+          let pick metric sel =
+            {
+              Pqtrace.Bench_out.name =
+                Printf.sprintf "%s N=%d %s" queue n metric;
+              points =
+                List.filter_map
+                  (fun c ->
+                    if c.f8_priorities = n && c.f8_queue = queue then
+                      Some (c.f8_procs, sel c)
+                    else None)
+                  data;
+            }
+          in
+          [
+            pick "insert" (fun c -> c.f8_insert);
+            pick "delete" (fun c -> c.f8_delete);
+            pick "all" (fun c -> c.f8_all);
+          ])
+        configs
+    in
+    {
+      Pqtrace.Bench_out.id = "fig8";
+      title = "insert / delete-min latency break-down (cycles)";
+      xlabel = "P";
+      series;
+    }
+  in
+  [
+    fig "fig5_left" "funnel counter latency, 50/50 inc/dec (cycles/op)" "P"
+      (fig5_left scale);
+    fig "fig5_right" "funnel counter latency vs decrement share (cycles/op)"
+      "%dec" (fig5_right scale);
+    fig "fig6" "all queues, 16 priorities, low concurrency (cycles/access)"
+      "P" (fig6 scale);
+    fig "fig7" "scalable queues, 16 priorities, high concurrency (cycles/access)"
+      "P" (fig7 scale);
+    fig8_figure;
+    fig "fig9_left" "latency vs priority range, 64 processors (cycles/access)"
+      "N" (fig9_left scale);
+    fig "fig9_right" "latency vs priority range, 256 processors (cycles/access)"
+      "N" (fig9_right scale);
+    fig "ablation_cutoff" "FunnelTree funnel/MCS cut-off depth (cycles/access)"
+      "P" (ablation_cutoff scale);
+    fig "ablation_precheck"
+      "LinearFunnels delete-min emptiness pre-check (cycles/access)" "P"
+      (ablation_precheck scale);
+    fig "ablation_adaption" "funnel layer-width adaption (cycles/access)" "P"
+      (ablation_adaption scale);
+    fig "counter_shootout" "fetch-and-increment latency across counters (cycles/op)"
+      "P" (counter_shootout scale);
+    fig "queue_depth" "latency on a pre-filled queue (cycles/access)" "depth"
+      (queue_depth scale);
+    fig "mix" "delete-min latency vs insert share (cycles/delete)" "%ins"
+      (mix scale);
+  ]

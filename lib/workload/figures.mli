@@ -32,9 +32,20 @@ val fig6 : scale -> Table.series list
 val fig7 : scale -> Table.series list
 (** the four scalable queues, 16 priorities, 2-256 processors *)
 
-val fig8 : scale -> string list list
-(** insert / delete-min / all latency breakdown (thousands of cycles) for
-    N ∈ 16,128 and P ∈ 16,64,256 *)
+type fig8_cell = {
+  f8_procs : int;
+  f8_priorities : int;
+  f8_queue : string;
+  f8_insert : float;  (** cycles per insert *)
+  f8_delete : float;  (** cycles per delete-min *)
+  f8_all : float;  (** cycles per access *)
+}
+(** one (P, N, queue) cell of the paper's Figure 8 latency break-down *)
+
+val fig8 : scale -> fig8_cell list
+(** insert / delete-min / all latency breakdown for N ∈ 16,128 and
+    P ∈ 16,64,256 (prints the table in thousands of cycles, returns the
+    raw cycle counts) *)
 
 val fig9_left : scale -> Table.series list
 (** latency vs priority range 2-512 at 64 processors *)
@@ -74,3 +85,8 @@ val sensitivity : scale -> string list list
 
 val run_all : scale -> unit
 (** print every figure, table and ablation *)
+
+val collect : scale -> Pqtrace.Bench_out.figure list
+(** run every Figure 5-9 experiment plus the ablations and extensions,
+    printing each table as usual, and return the results as
+    schema-stable {!Pqtrace.Bench_out} figures for BENCH.json *)

@@ -1,0 +1,40 @@
+(** Probed benchmark drivers for [pqbench profile] and [pqbench trace].
+
+    Probes are passive ({!Pqsim.Sim.run}), so a profiled run's latency
+    and makespan equal the plain benchmark's for the same spec. *)
+
+type report = {
+  queue : string;
+  nprocs : int;
+  latency : float;  (** cycles per access *)
+  cycles : int;  (** makespan *)
+  derived : Pqtrace.Metrics.derived;
+  hottest : Pqtrace.Profile.row list;
+}
+
+val profile_queue :
+  ?npriorities:int ->
+  ?seed:int ->
+  ?ops_per_proc:int ->
+  ?top:int ->
+  queue:string ->
+  nprocs:int ->
+  unit ->
+  report
+(** run one queue under a metrics probe; [top] (default 10) bounds the
+    hottest-lines table *)
+
+val trace_queue :
+  ?npriorities:int ->
+  ?seed:int ->
+  ?ops_per_proc:int ->
+  ?limit:int ->
+  queue:string ->
+  nprocs:int ->
+  unit ->
+  Pqtrace.Recorder.t * Workload.result
+(** run one queue under a full event-trace recorder; export with
+    {!Pqtrace.Recorder.to_chrome} / [to_jsonl], resolving symbols against
+    the returned result's [mem] *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -41,6 +41,7 @@ type result = {
   cycles : int;
   queue_wait : int;
   hot_lines : (int * int) list;
+  mem : Pqsim.Mem.t;  (* final memory: labels and per-line profiles *)
 }
 
 exception Verification_failure of string
@@ -68,7 +69,7 @@ let params_of (s : spec) : Pqcore.Pq_intf.params =
     funnel_cutoff = s.cutoff;
   }
 
-let run ?ops_per_proc (s : spec) =
+let run ?ops_per_proc ?probe (s : spec) =
   let s =
     match ops_per_proc with Some o -> { s with ops_per_proc = o } | None -> s
   in
@@ -76,7 +77,7 @@ let run ?ops_per_proc (s : spec) =
   let deleted = Array.make s.nprocs [] in
   let empty_deletes = ref 0 in
   let (q, _), result =
-    Sim.run ?machine:s.machine ~nprocs:s.nprocs ~seed:s.seed
+    Sim.run ?machine:s.machine ?probe ~nprocs:s.nprocs ~seed:s.seed
       ~setup:(fun mem ->
         let q = Pqcore.Registry.create s.queue mem (params_of s) in
         let barrier = Pqsync.Barrier.create mem ~nprocs:s.nprocs in
@@ -141,4 +142,5 @@ let run ?ops_per_proc (s : spec) =
     cycles = result.Sim.cycles;
     queue_wait = result.Sim.queue_wait;
     hot_lines = Mem.hot_lines result.Sim.mem 5;
+    mem = result.Sim.mem;
   }

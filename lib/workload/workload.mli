@@ -43,10 +43,15 @@ type result = {
   hot_lines : (int * int) list;
       (** the five most contended addresses and their accumulated
           queueing delay — the hot-spot profile *)
+  mem : Pqsim.Mem.t;
+      (** the run's final memory — carries the symbolic labels and
+          (under a probe) per-line traffic for the contention profiler *)
 }
 
 exception Verification_failure of string
 
-val run : ?ops_per_proc:int -> spec -> result
+val run : ?ops_per_proc:int -> ?probe:Pqsim.Probe.t -> spec -> result
 (** [run spec] executes one benchmark; raises {!Verification_failure} if
-    conservation or a structural invariant fails afterwards. *)
+    conservation or a structural invariant fails afterwards.  [probe]
+    attaches an observability probe (see {!Pqsim.Sim.run}); it is
+    passive, so probed results equal unprobed ones. *)

@@ -1,0 +1,408 @@
+(* Tests for the pqtrace observability subsystem: probe passivity, trace
+   byte-determinism, the conservation laws the instrumentation promises
+   (lock acquires = releases; every funnel/combining operation terminates
+   exactly once), the hand-rolled JSON codec, BENCH.json validation and
+   the contention profiler's symbolic attribution. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* probe passivity: a probed run is bit-identical to an unprobed one *)
+
+let run_workload ?probe queue =
+  Pqbenchlib.Workload.run ~ops_per_proc:12 ?probe
+    (Pqbenchlib.Workload.spec ~queue ~nprocs:8 ~npriorities:16)
+
+let test_probe_passive () =
+  List.iter
+    (fun queue ->
+      let plain = run_workload queue in
+      let metrics = Pqsim.Stats.create () in
+      let recorder = Pqtrace.Recorder.create () in
+      let probed =
+        run_workload ~probe:(Pqsim.Probe.make ~metrics ()) queue
+      in
+      let traced =
+        run_workload ~probe:(Pqtrace.Recorder.probe recorder) queue
+      in
+      check_int (queue ^ " cycles, metrics probe") plain.cycles probed.cycles;
+      check_int (queue ^ " cycles, trace probe") plain.cycles traced.cycles;
+      Alcotest.(check (float 0.0))
+        (queue ^ " latency") plain.latency_all probed.latency_all;
+      check_int (queue ^ " inserts") plain.inserts probed.inserts;
+      check_int (queue ^ " deletes") plain.deletes probed.deletes;
+      check_bool (queue ^ " probe saw metrics") true
+        (Pqsim.Stats.keys metrics <> []);
+      check_bool (queue ^ " probe saw events") true
+        (Pqtrace.Recorder.length recorder > 0))
+    [ "SingleLock"; "FunnelTree"; "SkipList" ]
+
+(* ------------------------------------------------------------------ *)
+(* trace export: same seed => identical bytes; both formats parse *)
+
+let test_trace_bytes_deterministic () =
+  let go () =
+    let recorder, r =
+      Pqbenchlib.Profiler.trace_queue ~seed:7 ~ops_per_proc:8
+        ~queue:"FunnelTree" ~nprocs:4 ()
+    in
+    let mem = r.Pqbenchlib.Workload.mem in
+    ( Pqtrace.Recorder.to_chrome ~mem recorder,
+      Pqtrace.Recorder.to_jsonl ~mem recorder )
+  in
+  let c1, j1 = go () in
+  let c2, j2 = go () in
+  check_string "chrome trace bytes" c1 c2;
+  check_string "jsonl bytes" j1 j2
+
+let test_chrome_trace_parses () =
+  let recorder, r =
+    Pqbenchlib.Profiler.trace_queue ~seed:3 ~ops_per_proc:5
+      ~queue:"SimpleLinear" ~nprocs:4 ()
+  in
+  let mem = r.Pqbenchlib.Workload.mem in
+  match Pqtrace.Json.of_string (Pqtrace.Recorder.to_chrome ~mem recorder) with
+  | Error e -> Alcotest.failf "chrome trace does not parse: %s" e
+  | Ok doc -> (
+      match
+        Option.bind (Pqtrace.Json.member "traceEvents" doc) Pqtrace.Json.to_list
+      with
+      | None -> Alcotest.fail "no traceEvents array"
+      | Some evs ->
+          check_bool "has events" true (List.length evs > 4);
+          (* every record carries a phase tag *)
+          List.iter
+            (fun ev ->
+              match
+                Option.bind (Pqtrace.Json.member "ph" ev) Pqtrace.Json.to_str
+              with
+              | Some ("X" | "i" | "M") -> ()
+              | Some ph -> Alcotest.failf "unexpected phase %S" ph
+              | None -> Alcotest.fail "event without ph")
+            evs)
+
+let test_jsonl_lines_parse () =
+  let recorder, r =
+    Pqbenchlib.Profiler.trace_queue ~seed:3 ~ops_per_proc:5
+      ~queue:"SingleLock" ~nprocs:4 ()
+  in
+  let text = Pqtrace.Recorder.to_jsonl ~mem:r.Pqbenchlib.Workload.mem recorder in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  check_int "one line per event" (Pqtrace.Recorder.length recorder)
+    (List.length lines);
+  List.iter
+    (fun line ->
+      match Pqtrace.Json.of_string line with
+      | Error e -> Alcotest.failf "jsonl line does not parse: %s" e
+      | Ok obj ->
+          check_bool "has time" true (Pqtrace.Json.member "t" obj <> None))
+    lines
+
+let test_recorder_limit () =
+  let recorder, _ =
+    Pqbenchlib.Profiler.trace_queue ~seed:5 ~ops_per_proc:10 ~limit:16
+      ~queue:"FunnelTree" ~nprocs:8 ()
+  in
+  check_int "buffer capped" 16 (Pqtrace.Recorder.length recorder);
+  check_bool "drops counted" true (Pqtrace.Recorder.dropped recorder > 0)
+
+(* ------------------------------------------------------------------ *)
+(* conservation laws *)
+
+let derived_of queue ~nprocs =
+  (Pqbenchlib.Profiler.profile_queue ~ops_per_proc:12 ~queue ~nprocs ())
+    .Pqbenchlib.Profiler.derived
+
+let test_lock_conservation () =
+  List.iter
+    (fun queue ->
+      let d = derived_of queue ~nprocs:8 in
+      check_bool (queue ^ " locks used") true (d.Pqtrace.Metrics.lock_acquires > 0);
+      check_int
+        (queue ^ " acquires = releases")
+        d.Pqtrace.Metrics.lock_acquires d.Pqtrace.Metrics.lock_releases;
+      check_bool
+        (queue ^ " contended <= acquires")
+        true
+        (d.Pqtrace.Metrics.lock_contended <= d.Pqtrace.Metrics.lock_acquires))
+    [ "SingleLock"; "HuntEtAl"; "SimpleTree"; "SkipList"; "SimpleLinear" ]
+
+let test_funnel_conservation () =
+  let d = derived_of "FunnelTree" ~nprocs:16 in
+  let open Pqtrace.Metrics in
+  check_bool "funnel ops seen" true (d.funnel_ops > 0);
+  check_int "ops = central + combined + 2*eliminated" d.funnel_ops
+    (d.funnel_central + d.funnel_combined + (2 * d.funnel_eliminated))
+
+let test_combtree_conservation () =
+  let metrics = Pqsim.Stats.create () in
+  let nprocs = 16 in
+  let _, _ =
+    Pqsim.Sim.run ~nprocs ~seed:11
+      ~probe:(Pqsim.Probe.make ~metrics ())
+      ~setup:(fun mem -> Pqcounters.Combtree.create mem ~nprocs ())
+      ~program:(fun c _ ->
+        for _ = 1 to 10 do
+          Pqsim.Api.work 5;
+          ignore (c.Pqcounters.Ctr_intf.inc ())
+        done)
+      ()
+  in
+  let d = Pqtrace.Metrics.derive metrics in
+  let open Pqtrace.Metrics in
+  check_int "comb ops all issued" (nprocs * 10) d.comb_ops;
+  check_int "ops = absorbed + central" d.comb_ops
+    (d.comb_absorbed + d.comb_central);
+  check_bool "combining happened" true (d.comb_absorbed > 0)
+
+let test_cas_counts () =
+  let d = derived_of "SkipList" ~nprocs:16 in
+  let open Pqtrace.Metrics in
+  check_bool "cas seen" true (d.cas_ok > 0);
+  check_bool "failure rate in [0,1]" true
+    (d.cas_failure_rate >= 0. && d.cas_failure_rate <= 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Stats distribution summaries (p99, histogram, edge cases) *)
+
+let test_stats_percentiles () =
+  let t = Pqsim.Stats.create () in
+  for i = 1 to 100 do
+    Pqsim.Stats.record t "x" i
+  done;
+  check_int "p50" 50 (Pqsim.Stats.percentile t "x" 0.50);
+  check_int "p99" 99 (Pqsim.Stats.percentile t "x" 0.99);
+  check_int "p100" 100 (Pqsim.Stats.percentile t "x" 1.0);
+  check_int "p0" 1 (Pqsim.Stats.percentile t "x" 0.0);
+  match Pqsim.Stats.summary t "x" with
+  | None -> Alcotest.fail "summary missing"
+  | Some s ->
+      check_int "summary p99" 99 s.Pqsim.Stats.p99;
+      check_int "summary max" 100 s.Pqsim.Stats.max
+
+let test_stats_single_sample () =
+  let t = Pqsim.Stats.create () in
+  Pqsim.Stats.record t "one" 42;
+  List.iter
+    (fun p -> check_int "1-sample percentile" 42 (Pqsim.Stats.percentile t "one" p))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+let test_stats_ties () =
+  let t = Pqsim.Stats.create () in
+  for _ = 1 to 10 do
+    Pqsim.Stats.record t "tied" 7
+  done;
+  check_int "tied p99" 7 (Pqsim.Stats.percentile t "tied" 0.99)
+
+let test_stats_empty_key () =
+  let t = Pqsim.Stats.create () in
+  check_int "count" 0 (Pqsim.Stats.count t "missing");
+  check_int "sum" 0 (Pqsim.Stats.sum t "missing");
+  check_int "percentile" 0 (Pqsim.Stats.percentile t "missing" 0.99);
+  check_bool "summary" true (Pqsim.Stats.summary t "missing" = None);
+  check_bool "histogram" true (Pqsim.Stats.histogram t "missing" = []);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p must be within [0, 1]") (fun () ->
+      ignore (Pqsim.Stats.percentile t "missing" 1.5))
+
+let test_stats_histogram_buckets () =
+  let t = Pqsim.Stats.create () in
+  List.iter (Pqsim.Stats.record t "h") [ 0; 1; 2; 3; 4; 100 ];
+  (* buckets: 0 -> bound 0; 1 -> bound 1; 2,3 -> bound 3; 4 -> bound 7;
+     100 -> bound 127 *)
+  Alcotest.(check (list (pair int int)))
+    "buckets"
+    [ (0, 1); (1, 1); (3, 2); (7, 1); (127, 1) ]
+    (Pqsim.Stats.histogram t "h")
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec *)
+
+let test_json_roundtrip () =
+  let open Pqtrace.Json in
+  let v =
+    Obj
+      [
+        ("s", String "he\"llo\n\t\\");
+        ("i", Int (-42));
+        ("f", Float 1.5);
+        ("whole", Float 3.0);
+        ("b", Bool true);
+        ("n", Null);
+        ("l", List [ Int 1; List []; Obj [] ]);
+      ]
+  in
+  match of_string (to_string v) with
+  | Ok v' -> check_bool "roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+
+let test_json_parse_errors () =
+  let bad s =
+    match Pqtrace.Json.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted invalid JSON %S" s
+  in
+  List.iter bad
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{'a':1}" ]
+
+let test_json_accessors () =
+  let open Pqtrace.Json in
+  match of_string "{\"a\": [1, 2.5], \"b\": \"x\"}" with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok v ->
+      check_bool "member missing" true (member "zz" v = None);
+      check_bool "int via to_float" true
+        (Option.bind (member "a" v) to_list
+        |> Option.map (List.filter_map to_float)
+        = Some [ 1.0; 2.5 ]);
+      check_bool "to_str" true
+        (Option.bind (member "b" v) to_str = Some "x")
+
+(* ------------------------------------------------------------------ *)
+(* BENCH.json writer + validator *)
+
+let sample_doc () =
+  Pqtrace.Bench_out.make ~seed:42 ~scale:"tiny"
+    [
+      {
+        Pqtrace.Bench_out.id = "fig6";
+        title = "t";
+        xlabel = "P";
+        series =
+          [ { Pqtrace.Bench_out.name = "SingleLock"; points = [ (2, 10.5) ] } ];
+      };
+    ]
+
+let test_bench_out_valid () =
+  let text = Pqtrace.Bench_out.to_string (sample_doc ()) in
+  (match Pqtrace.Bench_out.validate_string text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "self-produced document rejected: %s" e);
+  check_string "deterministic bytes" text
+    (Pqtrace.Bench_out.to_string (sample_doc ()))
+
+let test_bench_out_rejects_tampered () =
+  let doc = Pqtrace.Bench_out.to_json (sample_doc ()) in
+  let tampered =
+    match doc with
+    | Pqtrace.Json.Obj fields ->
+        [
+          ("no figures", Pqtrace.Json.Obj (List.remove_assoc "figures" fields));
+          ( "bad version",
+            Pqtrace.Json.Obj
+              (List.map
+                 (fun (k, v) ->
+                   if k = "schema_version" then (k, Pqtrace.Json.Int 999)
+                   else (k, v))
+                 fields) );
+          ( "empty figures",
+            Pqtrace.Json.Obj
+              (List.map
+                 (fun (k, v) ->
+                   if k = "figures" then (k, Pqtrace.Json.List []) else (k, v))
+                 fields) );
+        ]
+    | _ -> Alcotest.fail "document is not an object"
+  in
+  List.iter
+    (fun (what, bad) ->
+      match Pqtrace.Bench_out.validate bad with
+      | Ok () -> Alcotest.failf "validator accepted %s" what
+      | Error _ -> ())
+    tampered;
+  match Pqtrace.Bench_out.validate_string "{not json" with
+  | Ok () -> Alcotest.fail "validator accepted garbage"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* contention profiler: symbolic attribution and ranking *)
+
+let test_mem_labels () =
+  let mem = Pqsim.Mem.create (Pqsim.Machine.make ~nprocs:2 ()) in
+  let addr = Pqsim.Mem.alloc mem 4 in
+  Pqsim.Mem.label mem ~addr ~len:4 "thing";
+  check_bool "base word" true (Pqsim.Mem.name_of mem addr = Some "thing");
+  check_bool "offset word" true
+    (Pqsim.Mem.name_of mem (addr + 2) = Some "thing+2");
+  check_bool "past the label" true (Pqsim.Mem.name_of mem (addr + 4) = None)
+
+let test_profile_symbolic_ranking () =
+  let r =
+    Pqbenchlib.Profiler.profile_queue ~ops_per_proc:15 ~top:64
+      ~queue:"SimpleTree" ~nprocs:64 ()
+  in
+  let rows = r.Pqbenchlib.Profiler.hottest in
+  check_bool "root counter attributed" true
+    (Pqtrace.Profile.find rows "SimpleTree.counter[1]" <> None);
+  let index_of prefix =
+    let rec go i = function
+      | [] -> None
+      | row :: rest -> (
+          match row.Pqtrace.Profile.name with
+          | Some n when String.length n >= String.length prefix
+                        && String.sub n 0 (String.length prefix) = prefix ->
+              Some i
+          | _ -> go (i + 1) rest)
+    in
+    go 0 rows
+  in
+  match (index_of "SimpleTree.counter[1].", index_of "SimpleTree.bin[") with
+  | Some root, Some bin ->
+      check_bool "root counter hotter than any bin" true (root < bin)
+  | Some _, None -> () (* no bin line hot enough to rank: fine *)
+  | None, _ -> Alcotest.fail "root counter line not in the profile"
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "probe",
+        [
+          Alcotest.test_case "passive" `Quick test_probe_passive;
+          Alcotest.test_case "trace bytes deterministic" `Quick
+            test_trace_bytes_deterministic;
+          Alcotest.test_case "chrome trace parses" `Quick
+            test_chrome_trace_parses;
+          Alcotest.test_case "jsonl lines parse" `Quick test_jsonl_lines_parse;
+          Alcotest.test_case "recorder limit" `Quick test_recorder_limit;
+        ] );
+      ( "conservation",
+        [
+          Alcotest.test_case "lock acquires = releases" `Quick
+            test_lock_conservation;
+          Alcotest.test_case "funnel ops" `Quick test_funnel_conservation;
+          Alcotest.test_case "combining tree ops" `Quick
+            test_combtree_conservation;
+          Alcotest.test_case "cas outcome counts" `Quick test_cas_counts;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+          Alcotest.test_case "single sample" `Quick test_stats_single_sample;
+          Alcotest.test_case "ties" `Quick test_stats_ties;
+          Alcotest.test_case "empty key" `Quick test_stats_empty_key;
+          Alcotest.test_case "histogram buckets" `Quick
+            test_stats_histogram_buckets;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "bench-out",
+        [
+          Alcotest.test_case "valid" `Quick test_bench_out_valid;
+          Alcotest.test_case "rejects tampered" `Quick
+            test_bench_out_rejects_tampered;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "mem labels" `Quick test_mem_labels;
+          Alcotest.test_case "symbolic ranking" `Quick
+            test_profile_symbolic_ranking;
+        ] );
+    ]
