@@ -385,6 +385,153 @@ let faults_cmd =
         $ plans $ Terms.procs ~default:4 $ Terms.priorities ~default:8
         $ Terms.ops ~default:6 $ Terms.seed $ rounds $ verbose))
 
+let races_cmd =
+  let no_adversarial =
+    Arg.(
+      value & flag
+      & info [ "no-adversarial" ]
+          ~doc:"Audit only the default schedule (skip pqexplore policies).")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Also write the audit to $(docv).")
+  in
+  let run queue procs priorities ops seed no_adversarial report =
+    match Terms.resolve_queues queue with
+    | Error e -> `Error (false, e)
+    | Ok queues ->
+        (* a run that hangs or fails verification under an adversarial
+           schedule is itself an audit finding, not an internal error *)
+        let audits =
+          List.map
+            (fun q ->
+              ( q,
+                try
+                  Ok
+                    (Pqanalysis.Races.audit_queue ~nprocs:procs
+                       ~npriorities:priorities ~ops_per_proc:ops ~seed
+                       ~adversarial:(not no_adversarial) ~queue:q ())
+                with
+                | ( Pqsim.Sim.Deadlock _ | Pqsim.Sim.Progress_failure _
+                  | Pqbenchlib.Workload.Verification_failure _
+                  | Pqsim.Sim.Spin_limit _ ) as e ->
+                  Error (Printexc.to_string e) ))
+            queues
+        in
+        let buf = Buffer.create 4096 in
+        let ppf = Format.formatter_of_buffer buf in
+        List.iter
+          (fun (q, a) ->
+            match a with
+            | Ok a -> Format.fprintf ppf "%a@." Pqanalysis.Races.pp_audit a
+            | Error e ->
+                Format.fprintf ppf
+                  "== %s: AUDIT ABORTED — a schedule failed to complete@,   \
+                   %s@.@."
+                  q e)
+          audits;
+        Format.fprintf ppf "@[<v>%-22s %8s %6s %11s %10s@," "queue" "events"
+          "races" "allowlisted" "violations";
+        List.iter
+          (fun (q, a) ->
+            match a with
+            | Ok (a : Pqanalysis.Races.audit) ->
+                Format.fprintf ppf "%-22s %8d %6d %11d %10d@,"
+                  a.Pqanalysis.Races.queue a.Pqanalysis.Races.events_seen
+                  (List.length a.Pqanalysis.Races.races)
+                  (List.length a.Pqanalysis.Races.allowlisted)
+                  (List.length a.Pqanalysis.Races.violations)
+            | Error _ -> Format.fprintf ppf "%-22s %8s@," q "ABORTED")
+          audits;
+        Format.fprintf ppf "@]@.";
+        Format.pp_print_flush ppf ();
+        print_string (Buffer.contents buf);
+        (match report with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Buffer.contents buf);
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+        | None -> ());
+        let bad =
+          List.filter_map
+            (fun (q, a) ->
+              match a with
+              | Ok (a : Pqanalysis.Races.audit) ->
+                  if a.Pqanalysis.Races.violations <> [] then Some q else None
+              | Error _ -> Some q)
+            audits
+        in
+        if bad = [] then `Ok ()
+        else
+          `Error
+            ( false,
+              "non-allowlisted data races or aborted audits in: "
+              ^ String.concat ", " bad )
+  in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:
+         "Audit queues for data races with the happens-before sanitizer: \
+          each queue runs under the default workload plus adversarial \
+          schedules, and any race outside the queue's benign-race \
+          allowlist fails the command.")
+    Term.(
+      ret
+        (const run
+        $ Terms.queue ~default:"all"
+            ~doc:"Queue algorithm, or $(b,all) for the paper's seven."
+        $ Terms.procs ~default:16 $ Terms.priorities ~default:16
+        $ Terms.ops ~default:40 $ Terms.seed $ no_adversarial $ report))
+
+let lint_cmd =
+  let root =
+    Arg.(
+      value & opt string "."
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Repository root containing the linted lib/ subtrees.")
+  in
+  let allow =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "allow" ] ~docv:"FILE"
+          ~doc:"Allowlist file (default: $(b,.pqlint-allow) under the root).")
+  in
+  let run root allow =
+    let allow_file =
+      match allow with
+      | Some f -> f
+      | None -> Filename.concat root ".pqlint-allow"
+    in
+    let allow = Pqanalysis.Lint.load_allow allow_file in
+    match Pqanalysis.Lint.scan_dirs ~allow ~root () with
+    | [] ->
+        Printf.printf "lint: %d rules clean over %s (%d allowlist entries)\n"
+          5
+          (String.concat ", " Pqanalysis.Lint.default_dirs)
+          (List.length allow);
+        `Ok ()
+    | violations ->
+        List.iter
+          (Format.printf "%a@." Pqanalysis.Lint.pp_violation)
+          violations;
+        `Error
+          ( false,
+            Printf.sprintf "%d memory-discipline violation%s"
+              (List.length violations)
+              (if List.length violations = 1 then "" else "s") )
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check that simulated algorithm code stays inside the \
+          priced Api/Mem instruction set: no host-level mutable state or \
+          effects, an .mli for every .ml, no unbounded spin loops.")
+    Term.(ret (const run $ root $ allow))
+
 let () =
   let doc =
     "bounded-range concurrent priority queues on a simulated multiprocessor"
@@ -395,5 +542,5 @@ let () =
           (Cmd.info "pqbench" ~doc)
           [
             list_cmd; run_cmd; bench_cmd; profile_cmd; trace_cmd; validate_cmd;
-            explore_cmd; faults_cmd;
+            explore_cmd; faults_cmd; races_cmd; lint_cmd;
           ]))

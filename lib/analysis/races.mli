@@ -1,0 +1,124 @@
+(** Dynamic data-race sanitizer over the simulator's probe stream.
+
+    A vector-clock happens-before detector in the FastTrack tradition,
+    adapted to the simulated machine.  Happens-before edges come from:
+
+    - {b program order} on each simulated processor;
+    - {b RMW release/acquire}: swap, CAS (either outcome) and FAA
+      acquire the line's release clock; the mutating ones release the
+      processor's clock into it.  Successful CAS/swap/FAA pairs on lock
+      and publication words are what carries MCS/TAS lock ownership
+      transfer;
+    - {b declared synchronization lines}: plain reads of a line marked
+      with {!Pqsim.Mem.declare_sync} acquire its release clock (sound
+      under the simulator's sequentially consistent memory), and the
+      line's accesses are never race candidates — the moral analogue of
+      C11 atomics.  Plain writes release into every line's clock;
+    - {b wake-after-wait}: a completed [Wait_change] ({!Pqsim.Probe.Wake})
+      acquires the watched line's clock.
+
+    Two accesses to the same undeclared line from different processors,
+    at least one a write, not both RMWs, and unordered by the above, are
+    reported as a race with the line's symbolic label
+    ({!Pqsim.Mem.name_of}), both access sites and the detecting
+    processor's vector clock.
+
+    Races the design intends (quiescently consistent handoffs) are
+    declared per queue in {!expect} and matched {e exactly} by
+    (label pattern, first direction, second direction); the audit gate
+    fails on anything else. *)
+
+type dir = R | W
+
+type access = {
+  proc : int;
+  kind : Pqsim.Probe.mem_kind;
+  time : int;
+  sync : bool;
+}
+
+type race = {
+  addr : int;
+  label : string option;
+  first : access;
+  second : access;
+  second_clock : int array;
+  first_epoch : int;
+  count : int;
+}
+
+val dir_of : Pqsim.Probe.mem_kind -> dir
+val dir_name : dir -> string
+
+(** {1 Event capture} *)
+
+type obs
+(** a passive buffering sink for one (or more) probed runs *)
+
+val observer : unit -> obs
+
+val probe : ?metrics:Pqsim.Stats.t -> obs -> Pqsim.Probe.t
+(** the probe to pass to {!Pqsim.Sim.run} / {!Pqbenchlib.Workload.run} *)
+
+val events : obs -> int
+
+val analyze : mem:Pqsim.Mem.t -> obs -> race list
+(** [analyze ~mem obs] runs the detector over the captured stream.
+    [mem] supplies {!Pqsim.Mem.is_sync} and the labels; pass the memory
+    returned by the run that produced [obs].  Races are deduplicated by
+    (line, direction signature) with an occurrence count, and sorted by
+    address. *)
+
+(** {1 Benign-race allowlists} *)
+
+type expect = {
+  pattern : string;
+      (** label pattern; ['*'] matches a maximal nonempty digit run *)
+  first : dir;
+  second : dir;
+  reason : string;
+}
+
+val pattern_matches : string -> string -> bool
+val expect_matches : expect -> race -> bool
+
+val expect : string -> expect list
+(** [expect queue] is the queue's benign-race allowlist.  Empty for the
+    four linearizable queues by hard requirement — and, as the audit
+    shows, for the three quiescently consistent ones too: their
+    quiescence lives in operation ordering, not in data races (see
+    DESIGN.md §13). *)
+
+val split : race list -> expects:expect list -> (expect * race) list * race list
+(** partition into (allowlisted, violations) *)
+
+(** {1 Audit driver} *)
+
+type audit = {
+  queue : string;
+  schedules : string list;
+  events_seen : int;
+  races : race list;
+  allowlisted : (expect * race) list;
+  violations : race list;
+}
+
+val audit_queue :
+  ?nprocs:int ->
+  ?npriorities:int ->
+  ?ops_per_proc:int ->
+  ?seed:int ->
+  ?adversarial:bool ->
+  queue:string ->
+  unit ->
+  audit
+(** Run [queue] under the default fig-8-style workload and (unless
+    [~adversarial:false]) two pqexplore adversarial schedules
+    (random preemption and PCT), sanitize every run, and merge the
+    reports.  The workload's own conservation and structural checks
+    still run, so an audit doubles as a stress test. *)
+
+(** {1 Reporting} *)
+
+val pp_race : Format.formatter -> race -> unit
+val pp_audit : Format.formatter -> audit -> unit

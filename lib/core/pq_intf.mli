@@ -1,0 +1,36 @@
+(** The common face of every bounded-range priority queue in the paper.
+
+    A queue instance is a record of closures over its simulated-memory
+    structures.  [insert] and [delete_min] must be called from processor
+    context (inside {!Pqsim.Sim.run}); the [*_now] fields are host-side
+    hooks used by tests and verification after a run. *)
+
+type t = {
+  name : string;
+  npriorities : int;
+  insert : pri:int -> payload:int -> bool;
+      (** [false] when the structure rejected the element (capacity) *)
+  delete_min : unit -> (int * int) option;
+      (** removes an element of (approximately, for the quiescently
+          consistent queues) minimal priority; [None] when the queue
+          appears empty *)
+  drain_now : Pqsim.Mem.t -> (int * int) list;
+      (** host-side: elements still in the structure, as (pri, payload) *)
+  check_now : Pqsim.Mem.t -> (unit, string) result;
+      (** host-side structural invariants at quiescence *)
+}
+
+(** Construction parameters shared by all queue families. *)
+type params = {
+  nprocs : int;
+  npriorities : int;
+  capacity : int;  (** max simultaneous elements, for the heap queues *)
+  bin_capacity : int;  (** per-bin element bound, for the bin queues *)
+  seed : int;  (** structure-level randomness (skip list levels) *)
+  ops_per_proc : int;  (** upper bound, sizes funnel-stack node pools *)
+  funnel_config : Pqfunnel.Engine.config option;  (** None = defaults *)
+  funnel_elim : bool;  (** elimination in funnel structures *)
+  funnel_cutoff : int;  (** FunnelTree: tree levels (from root) using funnels *)
+}
+
+val default_params : nprocs:int -> npriorities:int -> params

@@ -14,6 +14,8 @@ let create mem (p : Pq_intf.params) =
   in
   let delbin = Mem.alloc mem 1 in
   Mem.label mem ~addr:delbin ~len:1 "SkipList.delbin";
+  (* read optimistically outside [del_lock] and re-checked under it *)
+  Mem.declare_sync mem ~addr:delbin ~len:1;
   let s =
     {
       base;

@@ -1,0 +1,25 @@
+(** Shape helpers shared by the tree-of-counters queues (SimpleTree and
+    FunnelTree).
+
+    A complete binary tree over [nleaves] = next power of two above the
+    priority range.  Internal nodes use 1-based heap indexing (root 1,
+    children 2n / 2n+1); leaf for priority [i] is node [nleaves + i].
+    Each internal node's counter tracks the number of elements in its
+    {e left} (lower priority) subtree. *)
+
+val leaves_for : int -> int
+(** smallest power of two >= the priority range *)
+
+val depth_of : int -> int
+(** depth of a node in 1-based heap indexing; the root is at depth 0 *)
+
+val leaf_index : nleaves:int -> int -> int
+(** node index of the leaf bin for a priority *)
+
+val is_leaf : nleaves:int -> int -> bool
+val parent : int -> int
+val left : int -> int
+val right : int -> int
+
+val is_left_child : int -> bool
+(** whether a node is its parent's left (lower-priority) child *)

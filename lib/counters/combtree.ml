@@ -32,11 +32,16 @@ let create ?name mem ~nprocs ?(wait = 64) ?central ?solo () =
         | Some n ->
             Mem.label mem ~addr:base ~len:3 (Printf.sprintf "%s.node[%d]" n i)
         | None -> ());
+        (* state carries the deposit/absorb CAS protocol; flag the
+           result handshake; result itself is data ordered by them *)
+        Mem.declare_sync mem ~addr:base ~len:1;
+        Mem.declare_sync mem ~addr:(base + 2) ~len:1;
         { state = base; result = base + 1; flag = base + 2 })
   in
   let central =
     match central with Some c -> c | None -> Mem.alloc mem 1
   in
+  Mem.declare_sync mem ~addr:central ~len:1;
   (match name with
   | Some n -> Mem.label mem ~addr:central ~len:1 (n ^ ".central")
   | None -> ());
@@ -115,10 +120,10 @@ let create ?name mem ~nprocs ?(wait = 64) ?central ?solo () =
     (* load feedback for reactive callers: count consecutive operations
        that neither combined anyone nor were absorbed *)
     (match solo with
-    | Some a ->
+    | Some solo ->
         if !carry = 1 && !combined = [] && (not !absorbed) && not !saw_busy
-        then a.(me) <- a.(me) + 1
-        else a.(me) <- 0
+        then solo.(me) <- solo.(me) + 1
+        else solo.(me) <- 0
     | None -> ());
     (* distribute: the waiter absorbed when we carried [before] ops gets
        the slice starting right after those *)

@@ -1,0 +1,17 @@
+(** Common face of the scalable fetch-and-increment implementations the
+    paper positions combining funnels against (Section 1 and 3.1):
+    diffracting trees (Shavit & Zemach 1996), bitonic counting networks
+    (Aspnes, Herlihy & Shavit 1994) and software combining trees
+    (Goodman et al. 1989; Yew et al. 1987).
+
+    All of them produce each value exactly once ({e step property});
+    none of them supports the paper's {e bounded} fetch-and-decrement,
+    which is why the funnel counter exists.  They are built here to back
+    that comparison with measurements (the "counter shootout" bench). *)
+
+type t = {
+  name : string;
+  inc : unit -> int;  (** fetch-and-increment; processor context only *)
+  read_now : Pqsim.Mem.t -> int;
+      (** host-side: total increments dispensed so far *)
+}

@@ -1,16 +1,19 @@
 open Pqsim
 
-(* mode addresses of created counters, keyed by the counter's name-unique
-   closure identity; we stash the mode address in the record's name via a
-   side table instead of widening Ctr_intf *)
-let mode_table : (string, int) Hashtbl.t = Hashtbl.create 8
-let instances = ref 0
+(* The mode word's address rides in the counter's name ("reactive@addr")
+   so [mode_now] can find it without host-side side tables or widening
+   Ctr_intf. *)
+let name_prefix = "reactive@"
 
 let create mem ~nprocs ?(up_after = 1) ?(down_after = 8) () =
   let central = Mem.alloc mem 1 in
   let mode = Mem.alloc mem 1 in
   Mem.label mem ~addr:central ~len:1 "reactive.central";
   Mem.label mem ~addr:mode ~len:1 "reactive.mode";
+  (* central is a read-then-CAS target; mode is the racy adaptivity hint
+     every operation consults without synchronization *)
+  Mem.declare_sync mem ~addr:central ~len:1;
+  Mem.declare_sync mem ~addr:mode ~len:1;
   let lock = Pqsync.Tas.create ~name:"reactive.lock" mem in
   let solo = Array.make nprocs 0 in
   let busy_streak = Array.make nprocs 0 in
@@ -58,16 +61,19 @@ let create mem ~nprocs ?(up_after = 1) ?(down_after = 8) () =
       v
     end
   in
-  let name = Printf.sprintf "reactive#%d" !instances in
-  incr instances;
-  Hashtbl.replace mode_table name mode;
   {
-    Ctr_intf.name;
+    Ctr_intf.name = Printf.sprintf "%s%d" name_prefix mode;
     inc;
     read_now = (fun mem -> Mem.peek mem central);
   }
 
 let mode_now mem (c : Ctr_intf.t) =
-  match Hashtbl.find_opt mode_table c.Ctr_intf.name with
+  let name = c.Ctr_intf.name and plen = String.length name_prefix in
+  let addr =
+    if String.starts_with ~prefix:name_prefix name then
+      int_of_string_opt (String.sub name plen (String.length name - plen))
+    else None
+  in
+  match addr with
   | Some addr -> Mem.peek mem addr
   | None -> invalid_arg "Reactive.mode_now: not a reactive counter"

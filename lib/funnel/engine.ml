@@ -15,13 +15,20 @@ let flag_retry = 5
 let flag_reclaimed = 6
 
 (* location word states; values >= 0 mean "collidable at that layer".
-   [locked] is tentative: the locker has not yet committed to the pairing
+   [locked] is tentative: the captor has not yet committed to the pairing
    and the lockee may still reclaim itself (see [operate]).  [claimed] is
    the commit point: a claimed record belongs to its captor until a
-   result flag is delivered. *)
+   result flag is delivered.  [self_locked] marks a processor holding its
+   OWN record (capturing a partner, or attempting the central object); it
+   must be distinct from [locked] or a reclaim sets up an ABA: lockee
+   times out, reclaims (locked -> layer), then self-locks for the central
+   phase — with a shared sentinel the abandoned captor's stale claim CAS
+   (locked -> claimed) lands on the self-lock, and the operation is both
+   combined into the captor's tree and applied centrally by its owner. *)
 let idle = -2
 let locked = -1
 let claimed = -3
+let self_locked = -4
 
 type config = {
   levels : int;
@@ -70,12 +77,18 @@ let create ?name mem ~nprocs ~config =
         (match name with
         | Some n -> Mem.label mem ~addr:a ~len:w (Printf.sprintf "%s.layer[%d]" n d)
         | None -> ());
+        Mem.declare_sync mem ~addr:a ~len:w;
         a)
       config.widths
   in
   let recs = Mem.alloc mem (nprocs * rec_size) in
   for p = 0 to nprocs - 1 do
     Mem.poke mem (recs + (p * rec_size) + off_loc) idle;
+    (* the location and flag words carry the collision/result handshakes
+       (lock, claim, release-through-result); the rest of the record —
+       sum, rval, opval, children — is plain data ordered by them *)
+    Mem.declare_sync mem ~addr:(recs + (p * rec_size) + off_loc) ~len:1;
+    Mem.declare_sync mem ~addr:(recs + (p * rec_size) + off_flag) ~len:1;
     match name with
     | Some n ->
         Mem.label mem
@@ -174,15 +187,14 @@ let operate t ~sign ~opval ~homogeneous ~allow_elim ~eliminate ~try_central
          let slot = t.layers.(!d) + Api.rand width in
          let q = Api.swap slot me in
          if q >= 0 && q <> me then begin
-           if Api.cas (loc_addr t me) ~expected:!d ~desired:locked then begin
+           if Api.cas (loc_addr t me) ~expected:!d ~desired:self_locked then begin
              if Api.cas (loc_addr t q) ~expected:!d ~desired:locked then begin
-               let qsum = Api.read (sum_addr t q) in
-               let mysum = Api.read (sum_addr t me) in
                (* Commit point: a lockee that timed out of its wait may
                   have reclaimed itself (locked -> layer), so nothing of
-                  [q]'s record may be absorbed or written until this
-                  claim lands.  Keeping the tentative window this small
-                  is what lets waiters spin boundedly instead of
+                  [q]'s record may be read, absorbed or written until
+                  this claim lands — a reclaimed [q] is free to rewrite
+                  it.  Keeping the tentative window to the bare two CASes
+                  is also what lets waiters spin boundedly instead of
                   forever. *)
                if
                  not
@@ -191,7 +203,13 @@ let operate t ~sign ~opval ~homogeneous ~allow_elim ~eliminate ~try_central
                  Api.write (loc_addr t me) !d;
                  note_failure t me
                end
-               else if allow_elim && qsum + mysum = 0 then begin
+               else
+               (* the claim freezes [q]'s record until we deliver a flag,
+                  and hands us everything [q] wrote before entering the
+                  funnel, so the sums are read race-free here *)
+               let qsum = Api.read (sum_addr t q) in
+               let mysum = Api.read (sum_addr t me) in
+               if allow_elim && qsum + mysum = 0 then begin
                  (* reversing operations of equal size: both trees finish
                     without touching the central object.  Our own result
                     now rides on the elimination partner, so mark
@@ -238,7 +256,7 @@ let operate t ~sign ~opval ~homogeneous ~allow_elim ~eliminate ~try_central
          end
        done;
        (* central phase (lines 28-37) *)
-       if Api.cas (loc_addr t me) ~expected:!d ~desired:locked then begin
+       if Api.cas (loc_addr t me) ~expected:!d ~desired:self_locked then begin
          match try_central ~sum:(Api.read (sum_addr t me)) with
          | Some v ->
              Api.count "funnel.central" 1;

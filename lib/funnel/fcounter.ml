@@ -13,6 +13,8 @@ let create ?name mem ~nprocs ?config ?(elim = true) ?floor ?ceil ~init () =
     match config with Some c -> c | None -> Engine.default_config ~nprocs
   in
   let main = Mem.alloc mem 1 in
+  (* read-then-CAS target, also read racily by the elimination shortcut *)
+  Mem.declare_sync mem ~addr:main ~len:1;
   Mem.poke mem main init;
   (match name with
   | Some n -> Mem.label mem ~addr:main ~len:1 (n ^ ".central")

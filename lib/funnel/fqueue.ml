@@ -32,6 +32,8 @@ let create ?name mem ~nprocs ?config ?(elim = false) ?pool
       Mem.label mem ~addr:head ~len:1 (n ^ ".head");
       Mem.label mem ~addr:tail ~len:1 (n ^ ".tail")
   | None -> ());
+  (* [head] backs the lock-free emptiness test; [tail] stays lock-guarded *)
+  Mem.declare_sync mem ~addr:head ~len:1;
   {
     f = Engine.create ?name mem ~nprocs ~config;
     head;

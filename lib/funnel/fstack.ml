@@ -21,6 +21,8 @@ let create ?name mem ~nprocs ?config ?(elim = true) ?pool
   (match name with
   | Some n -> Mem.label mem ~addr:top ~len:1 (n ^ ".top")
   | None -> ());
+  (* lock-free emptiness test + read-then-CAS publication point *)
+  Mem.declare_sync mem ~addr:top ~len:1;
   { f = Engine.create ?name mem ~nprocs ~config; top; pool; elim }
 
 let value_of node = node

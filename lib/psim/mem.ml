@@ -17,6 +17,7 @@ type t = {
      metadata, registration order preserved) and per-line traffic
      counters maintained only while a probe is active *)
   mutable labels : (int * int * string) list;
+  sync_lines : (int, unit) Hashtbl.t;
   traffic_by_line : (int, int) Hashtbl.t;
   inval_by_line : (int, int) Hashtbl.t;
 }
@@ -38,6 +39,7 @@ let create machine =
     writer_by_line = Hashtbl.create 64;
     node_factor = Array.make machine.Machine.mem_modules 1;
     labels = [];
+    sync_lines = Hashtbl.create 64;
     traffic_by_line = Hashtbl.create 64;
     inval_by_line = Hashtbl.create 64;
   }
@@ -82,6 +84,14 @@ let name_of t addr =
         Some (if addr = a then name else Printf.sprintf "%s+%d" name (addr - a))
       else None)
     t.labels
+
+let declare_sync t ~addr ~len =
+  if len <= 0 then invalid_arg "Mem.declare_sync: len must be positive";
+  for a = addr to addr + len - 1 do
+    Hashtbl.replace t.sync_lines a ()
+  done
+
+let is_sync t addr = Hashtbl.mem t.sync_lines addr
 
 let bump tbl addr =
   Hashtbl.replace tbl addr

@@ -56,6 +56,22 @@ val name_of : t -> int -> string option
 (** [name_of t addr] is the most recent label covering [addr], suffixed
     ["+k"] for the k-th word of a multi-word range. *)
 
+val declare_sync : t -> addr:int -> len:int -> unit
+(** [declare_sync t ~addr ~len] marks the [len] words starting at [addr]
+    as {e synchronization lines}: words whose plain reads are part of an
+    algorithm's synchronization protocol (lock words, version/state
+    words, published heads, optimistic emptiness tests) rather than data
+    transfers.  Like {!label} this is host-side metadata with no effect
+    on simulation; the race sanitizer ([Pqanalysis.Races]) treats a read
+    of a declared line as an acquire of the line's release clock and
+    exempts the line's accesses from race reporting — the moral
+    equivalent of C11 [atomic] qualification.  Declarations are made at
+    structure-creation time and are expected to be sparse; every
+    declared range must be justified in DESIGN.md §13. *)
+
+val is_sync : t -> int -> bool
+(** [is_sync t addr] is true iff [addr] lies in a {!declare_sync} range. *)
+
 val degrade_node : t -> node:int -> factor:int -> unit
 (** [degrade_node t ~node ~factor] makes memory module [node] serve every
     request [factor] times slower (occupancy and miss latency alike) —

@@ -19,9 +19,12 @@ val mem_kind_name : mem_kind -> string
     [Mem_op] is emitted by the engine for every costed memory effect:
     [addr] the line, [node] its home memory module, [issued] the cycle
     the processor issued it (the event's [time] is its completion).
-    [Park]/[Wake] bracket a {!Sim.Wait_change} blocking on a cached
-    line.  [Stall] and [Crash] record scheduler-policy decisions
-    (bounded pause until a cycle; crash-stop).  [Mark] is an instant
+    [Wake] is emitted on {e every} successful {!Sim.Wait_change} return
+    — the waiter observed another processor's write, a synchronization
+    edge the race sanitizer consumes — and is preceded by [Park] only
+    when the processor first settled onto its cached copy.  [Stall] and
+    [Crash] record scheduler-policy decisions (bounded pause until a
+    cycle; crash-stop).  [Mark] is an instant
     annotation from instrumented library code ({!Api.mark}); [Span] a
     completed timed interval ({!Api.timed} under a probe). *)
 type ev =

@@ -265,10 +265,15 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo) ?probe
                         let current = Mem.peek mem addr in
                         if current <> v0 then begin
                           ptime.(pid) <- t;
-                          (match (sink, state.(pid)) with
-                          | Some s, Parked _ ->
+                          (* emitted on every successful wait, parked or
+                             not: a completed Wait_change always means the
+                             processor observed another's write, so the
+                             race sanitizer needs the edge even when the
+                             change landed before the first check *)
+                          (match sink with
+                          | Some s ->
                               s.Probe.emit ~proc:pid ~time:t (Probe.Wake { addr })
-                          | _ -> ());
+                          | None -> ());
                           state.(pid) <- Running;
                           continue k current
                         end

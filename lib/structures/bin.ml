@@ -14,6 +14,9 @@ let create ?name mem ~nprocs ~cap =
       Mem.label mem ~addr:size ~len:1 (n ^ ".size");
       Mem.label mem ~addr:elems ~len:cap (n ^ ".elems")
   | None -> ());
+  (* [size] is read by the lock-free emptiness test, so it doubles as a
+     synchronization word; [elems] is plain data guarded by the lock *)
+  Mem.declare_sync mem ~addr:size ~len:1;
   { lock; size; elems; cap }
 
 let insert t e =

@@ -4,6 +4,8 @@ type t = int
 
 let create mem ~init =
   let a = Mem.alloc mem 1 in
+  (* single word driven by FAA and read-then-CAS loops *)
+  Mem.declare_sync mem ~addr:a ~len:1;
   Mem.poke mem a init;
   a
 

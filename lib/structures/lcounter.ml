@@ -8,6 +8,8 @@ let create ?name mem ~nprocs ~init =
       ~nprocs
   in
   let value = Mem.alloc mem 1 in
+  (* [get] reads the single counter word without taking the lock *)
+  Mem.declare_sync mem ~addr:value ~len:1;
   Mem.poke mem value init;
   (match name with
   | Some n -> Mem.label mem ~addr:value ~len:1 (n ^ ".value")

@@ -33,6 +33,10 @@ let create ?name mem ~nprocs ~npriorities ~bin_cap ~seed =
           (Printf.sprintf "%s.state[%d]" n id);
         Mem.label mem ~addr:fwd ~len:level (Printf.sprintf "%s.fwd[%d]" n id)
     | None -> ());
+    (* forward pointers and the threading-state word are read optimistically
+       (lock-free traversal, threaded test) and re-validated under locks *)
+    Mem.declare_sync mem ~addr:state ~len:1;
+    Mem.declare_sync mem ~addr:fwd ~len:level;
     for l = 0 to level - 1 do
       Mem.poke mem (fwd + l) nil
     done;

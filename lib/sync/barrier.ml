@@ -3,7 +3,11 @@ open Pqsim
 type t = { count : int; sense : int; nprocs : int }
 
 let create mem ~nprocs =
-  { count = Mem.alloc mem 1; sense = Mem.alloc mem 1; nprocs }
+  let count = Mem.alloc mem 1 in
+  let sense = Mem.alloc mem 1 in
+  Mem.declare_sync mem ~addr:count ~len:1;
+  Mem.declare_sync mem ~addr:sense ~len:1;
+  { count; sense; nprocs }
 
 let wait t =
   let s = Api.read t.sense in

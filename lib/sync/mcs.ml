@@ -14,6 +14,7 @@ let create ?name mem ~nprocs =
       Mem.label mem ~addr:tail ~len:1 (n ^ ".tail");
       Mem.label mem ~addr:(tail + 1) ~len:(2 * nprocs) (n ^ ".nodes")
   | None -> ());
+  Mem.declare_sync mem ~addr:tail ~len:(words ~nprocs);
   { tail; nodes = tail + 1; acq_at = Array.make nprocs 0 }
 
 let node t pid = t.nodes + (2 * pid)

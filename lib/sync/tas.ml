@@ -3,14 +3,15 @@ open Pqsim
 (* The lock word: 0 free, 1 held.  [acq_at] is host-side probe bookkeeping
    (acquisition cycle per processor) and is only touched under a probe. *)
 
-type t = { word : int; acq_at : (int, int) Hashtbl.t }
+type t = { word : int; acq_at : int array }
 
 let create ?name mem =
   let word = Mem.alloc mem 1 in
   (match name with
   | Some n -> Mem.label mem ~addr:word ~len:1 n
   | None -> ());
-  { word; acq_at = Hashtbl.create 8 }
+  Mem.declare_sync mem ~addr:word ~len:1;
+  { word; acq_at = Array.make (Mem.machine mem).Machine.nprocs 0 }
 
 let try_raw t = Api.cas t.word ~expected:0 ~desired:1
 
@@ -19,7 +20,7 @@ let try_acquire t =
   (if ok && Api.probing () then begin
      Api.count "lock.acquire" 1;
      Api.count "lock.wait" 0;
-     Hashtbl.replace t.acq_at (Api.self ()) (Api.now ())
+     t.acq_at.(Api.self ()) <- Api.now ()
    end);
   ok
 
@@ -43,15 +44,13 @@ let acquire t =
     Api.count "lock.acquire" 1;
     Api.count "lock.wait" (acquired - t0);
     if !contended then Api.count "lock.contend" 1;
-    Hashtbl.replace t.acq_at (Api.self ()) acquired
+    t.acq_at.(Api.self ()) <- acquired
   end
 
 let release t =
   (if Api.probing () then begin
      Api.count "lock.release" 1;
-     match Hashtbl.find_opt t.acq_at (Api.self ()) with
-     | Some a -> Api.count "lock.hold" (Api.now () - a)
-     | None -> ()
+     Api.count "lock.hold" (Api.now () - t.acq_at.(Api.self ()))
    end);
   Api.write t.word 0
 

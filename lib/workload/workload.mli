@@ -50,8 +50,17 @@ type result = {
 
 exception Verification_failure of string
 
-val run : ?ops_per_proc:int -> ?probe:Pqsim.Probe.t -> spec -> result
+val run :
+  ?ops_per_proc:int ->
+  ?probe:Pqsim.Probe.t ->
+  ?policy:Pqsim.Sched.t ->
+  spec ->
+  result
 (** [run spec] executes one benchmark; raises {!Verification_failure} if
     conservation or a structural invariant fails afterwards.  [probe]
     attaches an observability probe (see {!Pqsim.Sim.run}); it is
-    passive, so probed results equal unprobed ones. *)
+    passive, so probed results equal unprobed ones.  [policy] overrides
+    the scheduling policy (see {!Pqsim.Sched}), e.g. an adversarial
+    schedule from {!Pqexplore.Policy} — the structural verification
+    still runs, and the race sanitizer uses this to audit perturbed
+    interleavings. *)

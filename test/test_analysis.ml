@@ -1,0 +1,371 @@
+(* Tests for the pqlint subsystem: known-answer cases for the
+   vector-clock race detector (racy program detected; CAS-, lock- and
+   wake-synchronized programs not), the benign-race allowlist matching,
+   and the memory-discipline lint's accept/reject verdicts on pinned
+   source fragments. *)
+
+open Pqanalysis
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* run a small program under the sanitizer's probe and analyze it;
+   returns setup's value (e.g. the allocated base address) and the races *)
+let detect_races ?(nprocs = 2) ~setup ~program () =
+  let obs = Races.observer () in
+  let mem_ref = ref None in
+  let shared, _ =
+    Pqsim.Sim.run ~nprocs ~probe:(Races.probe obs)
+      ~setup:(fun mem ->
+        mem_ref := Some mem;
+        setup mem)
+      ~program ()
+  in
+  (shared, Races.analyze ~mem:(Option.get !mem_ref) obs)
+
+(* ------------------------------------------------------------------ *)
+(* detector: known racy / known clean programs *)
+
+let test_unsync_writes_race () =
+  (* two processors write the same undeclared word: W/W race *)
+  let addr, races =
+    detect_races
+      ~setup:(fun mem -> Pqsim.Mem.alloc mem 1)
+      ~program:(fun addr pid ->
+        for i = 1 to 3 do
+          Pqsim.Api.write addr ((10 * pid) + i)
+        done)
+      ()
+  in
+  check_bool "at least one race" true (races <> []);
+  check_bool "a write/write race on the word" true
+    (List.exists
+       (fun r ->
+         r.Races.addr = addr
+         && Races.dir_of r.Races.first.Races.kind = Races.W
+         && Races.dir_of r.Races.second.Races.kind = Races.W)
+       races)
+
+let test_unsync_read_write_race () =
+  (* p0 publishes through a plain flag, p1 plain-reads flag then data:
+     no synchronization operation anywhere, both words race *)
+  let base, races =
+    detect_races
+      ~setup:(fun mem -> Pqsim.Mem.alloc mem 2)
+      ~program:(fun base pid ->
+        let data = base and flag = base + 1 in
+        if pid = 0 then begin
+          Pqsim.Api.write data 42;
+          Pqsim.Api.write flag 1
+        end
+        else begin
+          let seen = ref (Pqsim.Api.read flag) in
+          while !seen = 0 do
+            Pqsim.Api.work 8;
+            seen := Pqsim.Api.read flag
+          done;
+          ignore (Pqsim.Api.read data)
+        end)
+      ()
+  in
+  check_bool "data word races" true
+    (List.exists (fun r -> r.Races.addr = base) races);
+  check_bool "flag word races too" true
+    (List.exists (fun r -> r.Races.addr = base + 1) races)
+
+let test_cas_handoff_no_race () =
+  (* the same handoff with a CAS release and an RMW acquire is clean:
+     p0's CAS on the flag releases its clock (covering the data write),
+     p1's FAA acquires it before the data read *)
+  let _, races =
+    detect_races
+      ~setup:(fun mem -> Pqsim.Mem.alloc mem 2)
+      ~program:(fun base pid ->
+        let data = base and flag = base + 1 in
+        if pid = 0 then begin
+          Pqsim.Api.write data 42;
+          ignore (Pqsim.Api.cas flag ~expected:0 ~desired:1)
+        end
+        else begin
+          while Pqsim.Api.faa flag 0 = 0 do
+            Pqsim.Api.work 8
+          done;
+          ignore (Pqsim.Api.read data)
+        end)
+      ()
+  in
+  check_int "no races" 0 (List.length races)
+
+let test_declared_sync_line_no_race () =
+  (* identical program to the racy publish, but the flag is declared a
+     synchronization line: its plain reads acquire, ordering the data *)
+  let _, races =
+    detect_races
+      ~setup:(fun mem ->
+        let base = Pqsim.Mem.alloc mem 2 in
+        Pqsim.Mem.declare_sync mem ~addr:(base + 1) ~len:1;
+        base)
+      ~program:(fun base pid ->
+        let data = base and flag = base + 1 in
+        if pid = 0 then begin
+          Pqsim.Api.write data 42;
+          Pqsim.Api.write flag 1
+        end
+        else begin
+          while Pqsim.Api.read flag = 0 do
+            Pqsim.Api.work 8
+          done;
+          ignore (Pqsim.Api.read data)
+        end)
+      ()
+  in
+  check_int "no races" 0 (List.length races)
+
+let test_mcs_handoff_no_race () =
+  (* lock ownership transfer carries happens-before: unsynchronized
+     increments under an MCS lock are clean *)
+  let _, races =
+    detect_races ~nprocs:4
+      ~setup:(fun mem ->
+        let lock = Pqsync.Mcs.create mem ~nprocs:4 in
+        let data = Pqsim.Mem.alloc mem 1 in
+        (lock, data))
+      ~program:(fun (lock, data) _ ->
+        for _ = 1 to 4 do
+          Pqsync.Mcs.acquire lock;
+          let v = Pqsim.Api.read data in
+          Pqsim.Api.work 5;
+          Pqsim.Api.write data (v + 1);
+          Pqsync.Mcs.release lock
+        done)
+      ()
+  in
+  check_int "no races" 0 (List.length races)
+
+let test_tas_handoff_no_race () =
+  let _, races =
+    detect_races ~nprocs:4
+      ~setup:(fun mem ->
+        let lock = Pqsync.Tas.create mem in
+        let data = Pqsim.Mem.alloc mem 1 in
+        (lock, data))
+      ~program:(fun (lock, data) _ ->
+        for _ = 1 to 4 do
+          Pqsync.Tas.acquire lock;
+          let v = Pqsim.Api.read data in
+          Pqsim.Api.write data (v + 1);
+          Pqsync.Tas.release lock
+        done)
+      ()
+  in
+  check_int "no races" 0 (List.length races)
+
+let test_wake_edge_no_race () =
+  (* a completed Wait_change acquires the watched line's clock even with
+     no synchronization operation in sight: the plain flag write released
+     p0's clock into the line, the wake acquires it *)
+  let _, races =
+    detect_races
+      ~setup:(fun mem -> Pqsim.Mem.alloc mem 2)
+      ~program:(fun base pid ->
+        let data = base and flag = base + 1 in
+        if pid = 0 then begin
+          Pqsim.Api.work 200;
+          Pqsim.Api.write data 7;
+          Pqsim.Api.write flag 1
+        end
+        else begin
+          ignore (Pqsim.Api.wait_change flag 0);
+          ignore (Pqsim.Api.read data)
+        end)
+      ()
+  in
+  check_int "no races" 0 (List.length races)
+
+(* ------------------------------------------------------------------ *)
+(* allowlist matching *)
+
+let mk_race ?(label = Some "Q.counter[3].rec[12]+3") ~first ~second () =
+  let acc kind proc =
+    { Races.proc; kind; time = 0; sync = false }
+  in
+  let k = function Races.R -> Pqsim.Probe.Read | Races.W -> Pqsim.Probe.Write in
+  {
+    Races.addr = 0;
+    label;
+    first = acc (k first) 0;
+    second = acc (k second) 1;
+    second_clock = [| 0; 0 |];
+    first_epoch = 0;
+    count = 1;
+  }
+
+let test_pattern_matches () =
+  let yes p s = check_bool (p ^ " ~ " ^ s) true (Races.pattern_matches p s) in
+  let no p s = check_bool (p ^ " !~ " ^ s) false (Races.pattern_matches p s) in
+  yes "Q.counter[*].rec[*]+3" "Q.counter[3].rec[12]+3";
+  yes "Q.bin[*]" "Q.bin[0]";
+  no "Q.counter[*].rec[*]+3" "Q.counter[3].rec[12]+4";
+  no "Q.counter[*]" "Q.counter[]" (* '*' needs a nonempty digit run *);
+  no "Q.counter[*]" "Q.counter[x]";
+  no "Q.counter[*]" "Q.counter[3].lock" (* anchored: no trailing slack *);
+  no "Q.bin" "Q.bin[0]"
+
+let test_expect_exactness () =
+  let e =
+    {
+      Races.pattern = "Q.counter[*].rec[*]+3";
+      first = Races.W;
+      second = Races.W;
+      reason = "test";
+    }
+  in
+  check_bool "matching race" true
+    (Races.expect_matches e (mk_race ~first:Races.W ~second:Races.W ()));
+  check_bool "direction mismatch rejected" false
+    (Races.expect_matches e (mk_race ~first:Races.R ~second:Races.W ()));
+  check_bool "unlabeled race never allowlisted" false
+    (Races.expect_matches e (mk_race ~label:None ~first:Races.W ~second:Races.W ()));
+  let allowlisted, violations =
+    Races.split
+      [ mk_race ~first:Races.W ~second:Races.W ();
+        mk_race ~first:Races.R ~second:Races.W () ]
+      ~expects:[ e ]
+  in
+  check_int "one allowlisted" 1 (List.length allowlisted);
+  check_int "one violation" 1 (List.length violations)
+
+let test_linearizable_allowlists_empty () =
+  (* hard requirement: the four linearizable queues carry no allowlist *)
+  List.iter
+    (fun q -> check_int (q ^ " allowlist empty") 0 (List.length (Races.expect q)))
+    [ "SingleLock"; "HuntEtAl"; "SkipList"; "SimpleLinear" ]
+
+(* ------------------------------------------------------------------ *)
+(* lint: pinned accept/reject fragments *)
+
+let rules vs = List.map (fun v -> v.Lint.rule) vs
+
+let test_lint_module_ref_rejected () =
+  let vs = Lint.scan_string "let counter = ref 0\n" in
+  check_bool "host-state" true (List.mem "host-state" (rules vs))
+
+let test_lint_local_ref_accepted () =
+  let vs =
+    Lint.scan_string
+      "let bump t =\n  let seen = ref 0 in\n  incr seen;\n  !seen + t\n"
+  in
+  check_int "clean" 0 (List.length vs)
+
+let test_lint_ref_field_rejected () =
+  let vs = Lint.scan_string "type t = { cache : int ref }\n" in
+  check_bool "host-state" true (List.mem "host-state" (rules vs))
+
+let test_lint_hashtbl_rejected () =
+  let vs = Lint.scan_string "let t = Hashtbl.create 16\n" in
+  check_bool "host-effect" true (List.mem "host-effect" (rules vs))
+
+let test_lint_external_rejected () =
+  let vs = Lint.scan_string "external id : 'a -> 'a = \"%identity\"\n" in
+  check_bool "host-effect" true (List.mem "host-effect" (rules vs))
+
+let test_lint_comment_and_string_immune () =
+  let vs =
+    Lint.scan_string
+      "(* Hashtbl would be wrong here; see \"Atomic\" note (* Mutex *) *)\n\
+       let s = \"Hashtbl.create\"\n\
+       let c = 'r'\n"
+  in
+  check_int "clean" 0 (List.length vs)
+
+let test_lint_mutable_allowlist () =
+  let src = "type t = { mutable acq_at : int }\nlet f t v = t.acq_at <- v\n" in
+  let vs = Lint.scan_string ~file:"x.ml" src in
+  check_int "two rejections without allow" 2 (List.length vs);
+  let vs = Lint.scan_string ~file:"x.ml" ~allow:[ ("x.ml", "acq_at") ] src in
+  check_int "clean with allow" 0 (List.length vs);
+  let vs = Lint.scan_string ~file:"y.ml" ~allow:[ ("x.ml", "acq_at") ] src in
+  check_int "allow is per-file" 2 (List.length vs)
+
+let test_lint_array_mutation_target () =
+  (* a.(i) <- v walks back over the index group to the identifier *)
+  let src = "let f t i v = t.slots.(i + 1) <- v\n" in
+  let vs = Lint.scan_string ~file:"x.ml" src in
+  check_int "rejected" 1 (List.length vs);
+  let vs = Lint.scan_string ~file:"x.ml" ~allow:[ ("x.ml", "slots") ] src in
+  check_int "allowed" 0 (List.length vs)
+
+let test_lint_spin_loop () =
+  let bad = "let f () = while true do ignore (g ()) done\n" in
+  check_bool "spin-loop" true (List.mem "spin-loop" (rules (Lint.scan_string bad)));
+  let escapes = "let f () = while true do if g () then raise Exit done\n" in
+  check_int "escape accepted" 0 (List.length (Lint.scan_string escapes));
+  let reports =
+    "let f () = while true do Api.progress (); ignore (g ()) done\n"
+  in
+  check_int "progress accepted" 0 (List.length (Lint.scan_string reports))
+
+let test_lint_repo_is_clean () =
+  (* the gate the CI runs: the shipped tree with the shipped allowlist.
+     Locate the tree by climbing to the nearest dune-project: under
+     `dune runtest` that is the sandboxed _build root (the source_tree
+     dep below materializes lib/ and the allowlist there), under a bare
+     `dune exec` it is the real repository root. *)
+  let rec root_from d =
+    if Sys.file_exists (Filename.concat d "dune-project") then d
+    else
+      let parent = Filename.dirname d in
+      if parent = d then Alcotest.fail "no dune-project above cwd"
+      else root_from parent
+  in
+  let root = root_from (Sys.getcwd ()) in
+  let allow = Lint.load_allow (Filename.concat root ".pqlint-allow") in
+  check_bool "allowlist nonempty" true (allow <> []);
+  let vs = Lint.scan_dirs ~allow ~root () in
+  List.iter (fun v -> Printf.eprintf "%s:%d: %s\n" v.Lint.file v.Lint.line v.Lint.message) vs;
+  check_int "repository lint-clean" 0 (List.length vs)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "pqlint"
+    [
+      ( "races",
+        [
+          Alcotest.test_case "unsync W/W detected" `Quick test_unsync_writes_race;
+          Alcotest.test_case "unsync R/W detected" `Quick
+            test_unsync_read_write_race;
+          Alcotest.test_case "CAS handoff clean" `Quick test_cas_handoff_no_race;
+          Alcotest.test_case "declared sync line clean" `Quick
+            test_declared_sync_line_no_race;
+          Alcotest.test_case "MCS handoff clean" `Quick test_mcs_handoff_no_race;
+          Alcotest.test_case "TAS handoff clean" `Quick test_tas_handoff_no_race;
+          Alcotest.test_case "wake edge clean" `Quick test_wake_edge_no_race;
+        ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "pattern matching" `Quick test_pattern_matches;
+          Alcotest.test_case "expect exactness" `Quick test_expect_exactness;
+          Alcotest.test_case "linearizable queues: empty" `Quick
+            test_linearizable_allowlists_empty;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "module ref rejected" `Quick
+            test_lint_module_ref_rejected;
+          Alcotest.test_case "local ref accepted" `Quick
+            test_lint_local_ref_accepted;
+          Alcotest.test_case "ref field rejected" `Quick
+            test_lint_ref_field_rejected;
+          Alcotest.test_case "Hashtbl rejected" `Quick test_lint_hashtbl_rejected;
+          Alcotest.test_case "external rejected" `Quick
+            test_lint_external_rejected;
+          Alcotest.test_case "comments/strings immune" `Quick
+            test_lint_comment_and_string_immune;
+          Alcotest.test_case "mutable allowlist" `Quick test_lint_mutable_allowlist;
+          Alcotest.test_case "array mutation target" `Quick
+            test_lint_array_mutation_target;
+          Alcotest.test_case "spin loop" `Quick test_lint_spin_loop;
+          Alcotest.test_case "repo lint-clean" `Quick test_lint_repo_is_clean;
+        ] );
+    ]
