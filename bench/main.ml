@@ -25,12 +25,23 @@ let json_path =
   in
   find (Array.to_list Sys.argv)
 
+let jobs =
+  let rec find = function
+    | "--jobs" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> j
+        | _ -> failwith "--jobs expects a positive integer")
+    | _ :: rest -> find rest
+    | [] -> Pqbenchlib.Pool.default_jobs ()
+  in
+  find (Array.to_list Sys.argv)
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's evaluation *)
 
 let scale =
-  if quick then Pqbenchlib.Figures.quick
-  else { Pqbenchlib.Figures.full with ops = 40 }
+  if quick then { Pqbenchlib.Figures.quick with jobs }
+  else { Pqbenchlib.Figures.full with ops = 40; jobs }
 
 let () =
   Printf.printf
@@ -40,26 +51,55 @@ let () =
      absolute values, are comparable with the paper)\n\
      =====================================================================\n"
     scale.Pqbenchlib.Figures.max_procs;
-  let figures = Pqbenchlib.Figures.collect scale in
-  ignore (Pqbenchlib.Figures.sensitivity scale);
-  (* a couple of headline contention metrics ride along in the document's
-     free-form metrics section, from probed re-runs of one Figure 8 point *)
-  let metrics =
-    let p = min 64 scale.Pqbenchlib.Figures.max_procs in
-    List.map
-      (fun queue ->
-        let r =
-          Pqbenchlib.Profiler.profile_queue ~queue ~nprocs:p
-            ~ops_per_proc:scale.Pqbenchlib.Figures.ops ()
-        in
-        ( Printf.sprintf "%s.P%d" queue p,
-          Pqtrace.Metrics.to_json r.Pqbenchlib.Profiler.derived ))
-      [ "SingleLock"; "HuntEtAl"; "SimpleTree"; "FunnelTree" ]
+  let timings = ref [] in
+  let t0 = Unix.gettimeofday () in
+  let timed id f =
+    let s0 = Unix.gettimeofday () in
+    let r = f () in
+    timings := (id, Unix.gettimeofday () -. s0) :: !timings;
+    r
   in
+  let figures = Pqbenchlib.Figures.collect ~timings scale in
+  ignore (timed "sensitivity" (fun () -> Pqbenchlib.Figures.sensitivity scale));
+  (* a couple of headline contention metrics ride along in the document's
+     free-form metrics section, from probed re-runs of one Figure 8 point;
+     independent probed runs, so they fan out like any other sweep *)
+  let metrics =
+    timed "profiler" (fun () ->
+        let p = min 64 scale.Pqbenchlib.Figures.max_procs in
+        Pqbenchlib.Pool.map ~jobs
+          (fun queue ->
+            let r =
+              Pqbenchlib.Profiler.profile_queue ~queue ~nprocs:p
+                ~ops_per_proc:scale.Pqbenchlib.Figures.ops ()
+            in
+            ( Printf.sprintf "%s.P%d" queue p,
+              Pqtrace.Metrics.to_json r.Pqbenchlib.Profiler.derived ))
+          [ "SingleLock"; "HuntEtAl"; "SimpleTree"; "FunnelTree" ])
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let r3 x = Float.round (x *. 1000.) /. 1000. in
+  let baseline_wall_s =
+    match Sys.getenv_opt "PQBENCH_BASELINE_S" with
+    | Some s -> float_of_string_opt (String.trim s)
+    | None -> if jobs = 1 then Some wall else None
+  in
+  let harness =
+    {
+      Pqtrace.Bench_out.jobs;
+      wall_s = r3 wall;
+      experiments = List.rev_map (fun (id, s) -> (id, r3 s)) !timings;
+      baseline_wall_s = Option.map r3 baseline_wall_s;
+      speedup =
+        Option.map (fun b -> r3 (b /. (if wall > 0. then wall else 1.)))
+          baseline_wall_s;
+    }
+  in
+  Printf.eprintf "[bench] harness: %.2fs wall at --jobs %d\n%!" wall jobs;
   let doc =
     Pqtrace.Bench_out.make ~seed:42
       ~scale:(if quick then "quick" else "full")
-      ~metrics figures
+      ~metrics ~harness figures
   in
   let text = Pqtrace.Bench_out.to_string doc in
   (match Pqtrace.Bench_out.validate_string text with

@@ -48,20 +48,28 @@ let scale_term =
       & opt (some int) None
       & info [ "ops" ] ~docv:"N" ~doc:"Queue accesses per processor.")
   in
-  let make full ops =
+  let make full ops jobs =
     let base =
       if full then Pqbenchlib.Figures.full else Pqbenchlib.Figures.quick
     in
+    let base = { base with Pqbenchlib.Figures.jobs } in
     match ops with None -> base | Some o -> { base with ops = o }
   in
-  Term.(const make $ full $ ops)
+  Term.(const make $ full $ ops $ Terms.jobs)
 
 let list_cmd =
   let run () =
     print_endline "queues:";
     List.iter (Printf.printf "  %s\n") Pqcore.Registry.names;
     print_endline "experiments:";
-    List.iter (fun (n, d, _) -> Printf.printf "  %-10s %s\n" n d) experiments
+    List.iter (fun (n, d, _) -> Printf.printf "  %-10s %s\n" n d) experiments;
+    print_endline
+      "\n\
+       every experiment above is an independent-point sweep: `run', \
+       `races',\n\
+       `faults' and `profile' accept --jobs J (env PQBENCH_JOBS) to fan \
+       points\n\
+       across J domains; output is byte-identical for any J."
   in
   Cmd.v (Cmd.info "list" ~doc:"List queues and experiments.")
     Term.(const run $ const ())
@@ -125,18 +133,17 @@ let profile_cmd =
       value & opt int 10
       & info [ "top" ] ~docv:"K" ~doc:"Rows in the hottest-lines table.")
   in
-  let run queue procs priorities ops seed top =
+  let run queue procs priorities ops seed top jobs =
     match Terms.resolve_queues queue with
     | Error e -> `Error (false, e)
     | Ok queues ->
-        List.iter
+        (* compute in parallel, print in queue order *)
+        Pqbenchlib.Pool.map ~jobs
           (fun q ->
-            let r =
-              Pqbenchlib.Profiler.profile_queue ~npriorities:priorities ~seed
-                ~ops_per_proc:ops ~top ~queue:q ~nprocs:procs ()
-            in
-            Format.printf "%a@.@." Pqbenchlib.Profiler.pp_report r)
-          queues;
+            Pqbenchlib.Profiler.profile_queue ~npriorities:priorities ~seed
+              ~ops_per_proc:ops ~top ~queue:q ~nprocs:procs ())
+          queues
+        |> List.iter (fun r -> Format.printf "%a@.@." Pqbenchlib.Profiler.pp_report r);
         `Ok ()
   in
   Cmd.v
@@ -151,7 +158,7 @@ let profile_cmd =
         $ Terms.queue ~default:"all"
             ~doc:"Queue algorithm, or $(b,all) for the paper's seven."
         $ Terms.procs ~default:64 $ Terms.priorities ~default:16
-        $ Terms.ops ~default:40 $ Terms.seed $ top))
+        $ Terms.ops ~default:40 $ Terms.seed $ top $ Terms.jobs))
 
 let trace_cmd =
   let out =
@@ -324,15 +331,17 @@ let faults_cmd =
              | Ok ps, Ok p -> Ok (ps @ [ p ]))
            (Ok [])
   in
-  let run queue plans procs priorities ops seed rounds verbose =
+  let run queue plans procs priorities ops seed rounds verbose jobs =
     match parse_plans plans with
     | Error e -> `Error (false, e)
     | Ok plans -> (
         match Terms.resolve_queues queue with
         | Error e -> `Error (false, e)
         | Ok queues -> (
+            (* per-queue fault matrices are independent deterministic
+               runs: fan them out, report in queue order *)
             let reports =
-              List.map
+              Pqbenchlib.Pool.map ~jobs
                 (fun q ->
                   Pqfault.Driver.run ~plans
                     (Pqfault.Driver.config ~nprocs:procs
@@ -383,7 +392,7 @@ let faults_cmd =
         $ Terms.queue ~default:"all"
             ~doc:"Queue algorithm, or $(b,all) for the paper's seven."
         $ plans $ Terms.procs ~default:4 $ Terms.priorities ~default:8
-        $ Terms.ops ~default:6 $ Terms.seed $ rounds $ verbose))
+        $ Terms.ops ~default:6 $ Terms.seed $ rounds $ verbose $ Terms.jobs))
 
 let races_cmd =
   let no_adversarial =
@@ -398,14 +407,16 @@ let races_cmd =
       & opt (some string) None
       & info [ "report" ] ~docv:"FILE" ~doc:"Also write the audit to $(docv).")
   in
-  let run queue procs priorities ops seed no_adversarial report =
+  let run queue procs priorities ops seed no_adversarial report jobs =
     match Terms.resolve_queues queue with
     | Error e -> `Error (false, e)
     | Ok queues ->
         (* a run that hangs or fails verification under an adversarial
-           schedule is itself an audit finding, not an internal error *)
+           schedule is itself an audit finding, not an internal error;
+           per-queue audits are independent, so they fan out across
+           domains and report in queue order *)
         let audits =
-          List.map
+          Pqbenchlib.Pool.map ~jobs
             (fun q ->
               ( q,
                 try
@@ -484,7 +495,8 @@ let races_cmd =
         $ Terms.queue ~default:"all"
             ~doc:"Queue algorithm, or $(b,all) for the paper's seven."
         $ Terms.procs ~default:16 $ Terms.priorities ~default:16
-        $ Terms.ops ~default:40 $ Terms.seed $ no_adversarial $ report))
+        $ Terms.ops ~default:40 $ Terms.seed $ no_adversarial $ report
+        $ Terms.jobs))
 
 let lint_cmd =
   let root =

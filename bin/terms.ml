@@ -34,6 +34,17 @@ let ops ~default =
 let queue ~default ~doc =
   Arg.(value & opt string default & info [ "queue" ] ~docv:"NAME" ~doc)
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"J"
+        ~env:(Cmd.Env.info "PQBENCH_JOBS")
+        ~doc:
+          "Host domains running independent experiment points concurrently. \
+           Results are merged in fixed point order, so any value produces \
+           byte-identical output; 1 (the default) runs everything in the \
+           calling domain.")
+
 (* expand --queue all / check the name against the registry *)
 let resolve_queues name =
   let queues =

@@ -169,7 +169,9 @@ let delete_min h =
                     node_release h c;
                     Some (r, ri)
                 | None ->
-                    node_release h l;
+                    (* l's lock was already dropped when its tag read
+                       empty; releasing it again would unlock a later
+                       holder's acquisition and strand their successor *)
                     Some (r, ri)
               end
             end

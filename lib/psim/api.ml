@@ -19,7 +19,7 @@ let await addr ~until =
   let rec go v = if until v then v else go (wait_change addr v) in
   go (read addr)
 
-let probing () = !Probe.active
+let probing () = Probe.active ()
 let count key v = if probing () then Effect.perform (Sim.Count (key, v))
 let mark name arg = if probing () then Effect.perform (Sim.Mark (name, arg))
 

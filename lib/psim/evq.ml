@@ -39,30 +39,43 @@ let push t ~time ?(weight = 0) run =
   t.size <- t.size + 1;
   up (t.size - 1)
 
+exception Empty
+
+(* The engine's hot path: returns the event record itself, so nothing is
+   boxed per pop (the record was allocated once, at push). *)
+let pop_exn t =
+  if t.size = 0 then raise Empty;
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  let last = t.heap.(t.size) in
+  t.heap.(t.size) <- dummy;
+  if t.size > 0 then begin
+    (* sift down *)
+    let rec down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let smallest = ref i in
+      if l < t.size && before t.heap.(l) last then smallest := l;
+      if
+        r < t.size
+        && before t.heap.(r) (if !smallest = i then last else t.heap.(l))
+      then smallest := r;
+      if !smallest = i then t.heap.(i) <- last
+      else begin
+        t.heap.(i) <- t.heap.(!smallest);
+        down !smallest
+      end
+    in
+    down 0
+  end;
+  top
+
 let pop t =
   if t.size = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    let last = t.heap.(t.size) in
-    t.heap.(t.size) <- dummy;
-    if t.size > 0 then begin
-      (* sift down *)
-      let rec down i =
-        let l = (2 * i) + 1 and r = (2 * i) + 2 in
-        let smallest = ref i in
-        if l < t.size && before t.heap.(l) last then smallest := l;
-        if
-          r < t.size
-          && before t.heap.(r) (if !smallest = i then last else t.heap.(l))
-        then smallest := r;
-        if !smallest = i then t.heap.(i) <- last
-        else begin
-          t.heap.(i) <- t.heap.(!smallest);
-          down !smallest
-        end
-      in
-      down 0
-    end;
-    Some (top.time, top.run)
-  end
+  else
+    let e = pop_exn t in
+    Some (e.time, e.run)
+
+let drain t f =
+  while t.size > 0 do
+    f (pop_exn t)
+  done

@@ -5,6 +5,10 @@
     events (see {!Sched}); the sequence number makes the remaining
     ordering deterministic: events scheduled earlier run earlier. *)
 
+type event = private { time : int; weight : int; seq : int; run : unit -> unit }
+(** An enqueued event.  Exposed read-only so {!pop_exn} can hand the
+    heap's own record back without boxing a fresh tuple per pop. *)
+
 type t
 
 val create : unit -> t
@@ -13,8 +17,20 @@ val push : t -> time:int -> ?weight:int -> (unit -> unit) -> unit
 (** [push t ~time ?weight run] schedules [run] at cycle [time]; among
     same-cycle events, lower [weight] (default 0) fires first. *)
 
+exception Empty
+
+val pop_exn : t -> event
+(** [pop_exn t] removes and returns the earliest event without
+    allocating; raises {!Empty} if the queue is empty.  The engine's hot
+    path — callers test {!is_empty} first rather than handling the
+    exception. *)
+
 val pop : t -> (int * (unit -> unit)) option
 (** [pop t] removes and returns the earliest event, or [None] if empty. *)
+
+val drain : t -> (event -> unit) -> unit
+(** [drain t f] pops every queued event in order, applying [f] to each
+    ([f] may {!push} more; draining continues until truly empty). *)
 
 val is_empty : t -> bool
 val length : t -> int

@@ -1,50 +1,69 @@
+(* Flat-array memory model.  Addresses are small dense integers handed
+   out by [alloc], so every per-line side table is a growable array
+   indexed by line — the same scheme [data]/[busy] use — rather than a
+   hash table.  The hot paths (read hit test, invalidation, directory
+   service, last-writer tracking) are plain array loads and stores.
+
+   Cached-copy tracking is a per-line bitmask of processors whose copy
+   is current ([readers], [mask_words] words per line, 63 processors per
+   word): a read hit is one bit test, an invalidation clears the line's
+   mask words.  This is observably identical to the previous per-
+   processor (addr -> version) tables — a processor hits iff it has
+   accessed the line since the last invalidation — without a version
+   counter or a per-processor lookup structure. *)
+
 type t = {
   machine : Machine.t;
+  mask_words : int; (* words of reader-mask per line: ceil (nprocs / 63) *)
+  mutable probing : bool; (* per-run copy of the probe flag (set by Sim) *)
   mutable data : int array;
-  mutable version : int array;
   mutable busy : int array;
+  mutable readers : int array; (* line * mask_words .. : current-copy bits *)
+  mutable wait_by_line : int array;
+  mutable writer_by_line : int array; (* -1 = no simulated writer yet *)
+  mutable traffic_by_line : int array;
+  mutable inval_by_line : int array;
+  mutable sync_lines : Bytes.t;
+  mutable watchers : (int -> unit) list array;
   mutable next_free : int;
-  caches : (int, int) Hashtbl.t array; (* per proc: addr -> version seen *)
-  watchers : (int, (int -> unit) list ref) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
   mutable updates : int;
   mutable queue_wait : int;
-  wait_by_line : (int, int) Hashtbl.t;
-  writer_by_line : (int, int) Hashtbl.t;
   node_factor : int array; (* per memory module service-time multiplier *)
   (* observability: symbolic names for allocated ranges (host-side
-     metadata, registration order preserved) and per-line traffic
-     counters maintained only while a probe is active *)
+     metadata, registration order preserved) *)
   mutable labels : (int * int * string) list;
-  sync_lines : (int, unit) Hashtbl.t;
-  traffic_by_line : (int, int) Hashtbl.t;
-  inval_by_line : (int, int) Hashtbl.t;
 }
 
+let initial_words = 4096
+
 let create machine =
+  let nprocs = machine.Machine.nprocs in
   {
     machine;
-    data = Array.make 4096 0;
-    version = Array.make 4096 0;
-    busy = Array.make 4096 0;
+    mask_words = (nprocs + 62) / 63;
+    probing = false;
+    data = Array.make initial_words 0;
+    busy = Array.make initial_words 0;
+    readers = Array.make (initial_words * ((nprocs + 62) / 63)) 0;
+    wait_by_line = Array.make initial_words 0;
+    writer_by_line = Array.make initial_words (-1);
+    traffic_by_line = Array.make initial_words 0;
+    inval_by_line = Array.make initial_words 0;
+    sync_lines = Bytes.make initial_words '\000';
+    watchers = Array.make initial_words [];
     next_free = 1 (* address 0 reserved as null *);
-    caches = Array.init machine.Machine.nprocs (fun _ -> Hashtbl.create 256);
-    watchers = Hashtbl.create 64;
     hits = 0;
     misses = 0;
     updates = 0;
     queue_wait = 0;
-    wait_by_line = Hashtbl.create 64;
-    writer_by_line = Hashtbl.create 64;
     node_factor = Array.make machine.Machine.mem_modules 1;
     labels = [];
-    sync_lines = Hashtbl.create 64;
-    traffic_by_line = Hashtbl.create 64;
-    inval_by_line = Hashtbl.create 64;
   }
 
 let machine t = t.machine
+let set_probing t b = t.probing <- b
 
 let ensure t n =
   if n > Array.length t.data then begin
@@ -52,14 +71,26 @@ let ensure t n =
     while !cap < n do
       cap := !cap * 2
     done;
-    let grow a =
-      let b = Array.make !cap 0 in
+    let grow ?(fill = 0) a =
+      let b = Array.make !cap fill in
       Array.blit a 0 b 0 (Array.length a);
       b
     in
     t.data <- grow t.data;
-    t.version <- grow t.version;
-    t.busy <- grow t.busy
+    t.busy <- grow t.busy;
+    t.wait_by_line <- grow t.wait_by_line;
+    t.writer_by_line <- grow ~fill:(-1) t.writer_by_line;
+    t.traffic_by_line <- grow t.traffic_by_line;
+    t.inval_by_line <- grow t.inval_by_line;
+    let readers = Array.make (!cap * t.mask_words) 0 in
+    Array.blit t.readers 0 readers 0 (Array.length t.readers);
+    t.readers <- readers;
+    let sync = Bytes.make !cap '\000' in
+    Bytes.blit t.sync_lines 0 sync 0 (Bytes.length t.sync_lines);
+    t.sync_lines <- sync;
+    let watchers = Array.make !cap [] in
+    Array.blit t.watchers 0 watchers 0 (Array.length t.watchers);
+    t.watchers <- watchers
   end
 
 let alloc t n =
@@ -87,28 +118,37 @@ let name_of t addr =
 
 let declare_sync t ~addr ~len =
   if len <= 0 then invalid_arg "Mem.declare_sync: len must be positive";
-  for a = addr to addr + len - 1 do
-    Hashtbl.replace t.sync_lines a ()
-  done
+  ensure t (addr + len);
+  Bytes.fill t.sync_lines addr len '\001'
 
-let is_sync t addr = Hashtbl.mem t.sync_lines addr
+let is_sync t addr =
+  addr < Bytes.length t.sync_lines && Bytes.unsafe_get t.sync_lines addr <> '\000'
 
-let bump tbl addr =
-  Hashtbl.replace tbl addr
-    (1 + Option.value (Hashtbl.find_opt tbl addr) ~default:0)
+(* reader-mask primitives: bit [proc] of line [addr] is set iff [proc]'s
+   cached copy is current *)
+
+let cached t ~proc addr =
+  t.readers.((addr * t.mask_words) + (proc / 63)) land (1 lsl (proc mod 63))
+  <> 0
+
+let set_cached t ~proc addr =
+  let i = (addr * t.mask_words) + (proc / 63) in
+  t.readers.(i) <- t.readers.(i) lor (1 lsl (proc mod 63))
 
 let peek t addr = t.data.(addr)
 
 let invalidate t addr =
-  t.version.(addr) <- t.version.(addr) + 1;
-  if !Probe.active then bump t.inval_by_line addr
+  let base = addr * t.mask_words in
+  for i = base to base + t.mask_words - 1 do
+    t.readers.(i) <- 0
+  done;
+  if t.probing then t.inval_by_line.(addr) <- t.inval_by_line.(addr) + 1
 
 let notify t addr ~change_time =
-  match Hashtbl.find_opt t.watchers addr with
-  | None -> ()
-  | Some waiters ->
-      let ws = !waiters in
-      Hashtbl.remove t.watchers addr;
+  match t.watchers.(addr) with
+  | [] -> ()
+  | ws ->
+      t.watchers.(addr) <- [];
       List.iter (fun wake -> wake change_time) (List.rev ws)
 
 let poke t addr v =
@@ -118,9 +158,8 @@ let poke t addr v =
   notify t addr ~change_time:0
 
 let watch t ~addr ~wake =
-  match Hashtbl.find_opt t.watchers addr with
-  | None -> Hashtbl.add t.watchers addr (ref [ wake ])
-  | Some waiters -> waiters := wake :: !waiters
+  ensure t (addr + 1);
+  t.watchers.(addr) <- wake :: t.watchers.(addr)
 
 let degrade_node t ~node ~factor =
   if factor < 1 then invalid_arg "Mem.degrade_node: factor must be >= 1";
@@ -140,33 +179,30 @@ let serve t ~now ~addr ~occ =
   let occ = occ * node_factor t addr in
   let start = if t.busy.(addr) > now then t.busy.(addr) else now in
   let waited = start - now in
-  t.queue_wait <- t.queue_wait + waited;
   if waited > 0 then begin
-    let prev =
-      match Hashtbl.find_opt t.wait_by_line addr with Some w -> w | None -> 0
-    in
-    Hashtbl.replace t.wait_by_line addr (prev + waited)
+    t.queue_wait <- t.queue_wait + waited;
+    t.wait_by_line.(addr) <- t.wait_by_line.(addr) + waited
   end;
   t.busy.(addr) <- start + occ;
   start + occ
 
 let read t ~proc ~now addr =
-  let cache = t.caches.(proc) in
-  match Hashtbl.find_opt cache addr with
-  | Some v when v = t.version.(addr) ->
-      t.hits <- t.hits + 1;
-      (now + t.machine.Machine.cache_hit, t.data.(addr))
-  | _ ->
-      t.misses <- t.misses + 1;
-      if !Probe.active then bump t.traffic_by_line addr;
-      let served = serve t ~now ~addr ~occ:t.machine.Machine.read_occupancy in
-      Hashtbl.replace cache addr t.version.(addr);
-      (served + miss_latency t ~proc ~addr, t.data.(addr))
+  if cached t ~proc addr then begin
+    t.hits <- t.hits + 1;
+    (now + t.machine.Machine.cache_hit, t.data.(addr))
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    if t.probing then t.traffic_by_line.(addr) <- t.traffic_by_line.(addr) + 1;
+    let served = serve t ~now ~addr ~occ:t.machine.Machine.read_occupancy in
+    set_cached t ~proc addr;
+    (served + miss_latency t ~proc ~addr, t.data.(addr))
+  end
 
 let update t ~proc ~now ~addr ~occ f =
   t.updates <- t.updates + 1;
-  if !Probe.active then bump t.traffic_by_line addr;
-  Hashtbl.replace t.writer_by_line addr proc;
+  if t.probing then t.traffic_by_line.(addr) <- t.traffic_by_line.(addr) + 1;
+  t.writer_by_line.(addr) <- proc;
   let served = serve t ~now ~addr ~occ in
   let old = t.data.(addr) in
   let v = f old in
@@ -176,7 +212,7 @@ let update t ~proc ~now ~addr ~occ f =
   end;
   (* even a same-value store serializes and re-triggers spinners' checks *)
   notify t addr ~change_time:served;
-  Hashtbl.replace t.caches.(proc) addr t.version.(addr);
+  set_cached t ~proc addr;
   (served + miss_latency t ~proc ~addr, old)
 
 let write t ~proc ~now addr v =
@@ -202,7 +238,9 @@ let faa t ~proc ~now addr delta =
   update t ~proc ~now ~addr ~occ:t.machine.Machine.atomic_occupancy (fun old ->
       old + delta)
 
-let last_writer t addr = Hashtbl.find_opt t.writer_by_line addr
+let last_writer t addr =
+  let w = t.writer_by_line.(addr) in
+  if w < 0 then None else Some w
 
 let hits t = t.hits
 let misses t = t.misses
@@ -210,28 +248,27 @@ let updates t = t.updates
 let queue_wait t = t.queue_wait
 
 let hot_lines t k =
-  Hashtbl.fold (fun addr w acc -> (addr, w) :: acc) t.wait_by_line []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  let acc = ref [] in
+  for addr = t.next_free - 1 downto 0 do
+    let w = t.wait_by_line.(addr) in
+    if w > 0 then acc := (addr, w) :: !acc
+  done;
+  (* hottest first; ties broken by ascending address (deterministic) *)
+  List.stable_sort (fun (_, a) (_, b) -> compare b a) !acc
   |> List.filteri (fun i _ -> i < k)
 
-let line_traffic t addr =
-  Option.value (Hashtbl.find_opt t.traffic_by_line addr) ~default:0
-
-let line_invalidations t addr =
-  Option.value (Hashtbl.find_opt t.inval_by_line addr) ~default:0
-
-let line_wait t addr =
-  Option.value (Hashtbl.find_opt t.wait_by_line addr) ~default:0
+let line_traffic t addr = t.traffic_by_line.(addr)
+let line_invalidations t addr = t.inval_by_line.(addr)
+let line_wait t addr = t.wait_by_line.(addr)
 
 let line_profile t =
-  let seen = Hashtbl.create 256 in
-  let collect tbl = Hashtbl.iter (fun a _ -> Hashtbl.replace seen a ()) tbl in
-  collect t.traffic_by_line;
-  collect t.wait_by_line;
-  Hashtbl.fold
-    (fun addr () acc ->
-      (addr, line_wait t addr, line_traffic t addr, line_invalidations t addr)
-      :: acc)
-    seen []
-  |> List.sort (fun (a1, w1, t1, _) (a2, w2, t2, _) ->
-         compare (w2, t2, a1) (w1, t1, a2))
+  let acc = ref [] in
+  for addr = t.next_free - 1 downto 0 do
+    let w = t.wait_by_line.(addr) and tr = t.traffic_by_line.(addr) in
+    if w > 0 || tr > 0 then
+      acc := (addr, w, tr, t.inval_by_line.(addr)) :: !acc
+  done;
+  List.sort
+    (fun (a1, w1, t1, _) (a2, w2, t2, _) ->
+      compare (w2, t2, a1) (w1, t1, a2))
+    !acc

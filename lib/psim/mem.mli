@@ -25,6 +25,13 @@ val create : Machine.t -> t
 
 val machine : t -> Machine.t
 
+val set_probing : t -> bool -> unit
+(** [set_probing t b] switches the per-line traffic/invalidation
+    counters on or off for this memory.  Set by {!Sim.run} from its
+    [?probe] argument; a per-memory field (rather than a global flag) so
+    concurrent simulations in different domains don't observe each
+    other's probes. *)
+
 (** {1 Allocation and raw access (simulation setup / inspection)} *)
 
 val alloc : t -> int -> int
@@ -119,8 +126,8 @@ val hot_lines : t -> int -> (int * int) list
 
 (** {1 Per-line traffic (probe-gated)}
 
-    Maintained only while {!Probe.active} is set (i.e. under a probed
-    {!Sim.run}), so default runs pay nothing.  Traffic counts the
+    Maintained only while this memory's {!set_probing} flag is set
+    (i.e. under a probed {!Sim.run}), so default runs pay nothing.  Traffic counts the
     coherence transactions a line caused (read misses + writes +
     atomics); invalidations count version bumps (cached copies killed). *)
 

@@ -25,7 +25,11 @@ let make ?sink ?metrics () = { sink; metrics }
 
 (* True while a probed Sim.run is executing.  Library code guards its
    instrumentation effects on this flag, so unprobed runs perform no
-   extra effects and allocate nothing.  Safe as a global because the
-   engine is single-threaded on the host: simulated processors are
-   continuations multiplexed on one domain, and runs never nest. *)
-let active = ref false
+   extra effects and allocate nothing.  Domain-local rather than a plain
+   global: the engine multiplexes simulated processors on one domain and
+   runs never nest, but independent simulations may run concurrently in
+   sibling domains (parallel experiment sweeps), and a probe in one must
+   not switch instrumentation on in another. *)
+let active_key : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+let active () = !(Domain.DLS.get active_key)
+let set_active b = Domain.DLS.get active_key := b

@@ -45,7 +45,12 @@ type t = { sink : sink option; metrics : Stats.t option }
 
 val make : ?sink:sink -> ?metrics:Stats.t -> unit -> t
 
-val active : bool ref
-(** Set by {!Sim.run} for the duration of a probed run; read via
-    {!Api.probing}.  Instrumented code must consult it before doing any
-    probe-only work so that unprobed runs pay nothing. *)
+val active : unit -> bool
+(** True while a probed {!Sim.run} is executing in the calling domain;
+    read via {!Api.probing}.  Instrumented code must consult it before
+    doing any probe-only work so that unprobed runs pay nothing.  The
+    flag is domain-local, so concurrent simulations in sibling domains
+    (parallel sweeps) don't observe each other's probes. *)
+
+val set_active : bool -> unit
+(** Set by {!Sim.run} for the duration of a probed run (engine only). *)

@@ -153,6 +153,16 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo) ?probe
     let open Effect.Deep in
     let resume_at : type a. Sched.op -> int -> (a, unit) continuation -> a -> unit =
      fun op time k v ->
+      if policy == Sched.fifo then begin
+        (* the default policy ignores its input and always answers
+           [Run { delay = 0; weight = 0 }]: skip building the info
+           record and matching the verdict on the hot path *)
+        incr step;
+        Evq.push q ~time (fun () ->
+            ptime.(pid) <- time;
+            continue k v)
+      end
+      else
       let verdict = policy { Sched.proc = pid; time; step = !step; op } in
       incr step;
       match verdict with
@@ -241,53 +251,61 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo) ?probe
                     (Spin_limit { proc = pid; addr; wakeups = !wakeups });
                 incr wakeups;
                 let t, _ = Mem.read mem ~proc:pid ~now addr in
-                let verdict =
-                  policy
-                    { Sched.proc = pid; time = t; step = !step; op = Sched.Wait }
-                in
-                incr step;
-                match verdict with
-                | Sched.Stall_forever ->
+                (* check and (if needed) arm the watcher inside one
+                   event, so no write can slip between them *)
+                let arm t () =
+                  let current = Mem.peek mem addr in
+                  if current <> v0 then begin
+                    ptime.(pid) <- t;
+                    (* emitted on every successful wait, parked or
+                       not: a completed Wait_change always means the
+                       processor observed another's write, so the
+                       race sanitizer needs the edge even when the
+                       change landed before the first check *)
                     (match sink with
-                    | Some s -> s.Probe.emit ~proc:pid ~time:t Probe.Crash
+                    | Some s ->
+                        s.Probe.emit ~proc:pid ~time:t (Probe.Wake { addr })
                     | None -> ());
-                    crash pid
-                | Sched.Pause _ | Sched.Run _ ->
-                    let t, weight =
-                      match verdict with
-                      | Sched.Pause n -> (t + max 0 n, 0)
-                      | Sched.Run d -> (t + max 0 d.Sched.delay, d.Sched.weight)
-                      | Sched.Stall_forever -> assert false
-                    in
-                    Evq.push q ~time:t ~weight (fun () ->
-                        (* check and (if needed) arm the watcher inside one
-                           event, so no write can slip between them *)
-                        let current = Mem.peek mem addr in
-                        if current <> v0 then begin
-                          ptime.(pid) <- t;
-                          (* emitted on every successful wait, parked or
-                             not: a completed Wait_change always means the
-                             processor observed another's write, so the
-                             race sanitizer needs the edge even when the
-                             change landed before the first check *)
-                          (match sink with
-                          | Some s ->
-                              s.Probe.emit ~proc:pid ~time:t (Probe.Wake { addr })
-                          | None -> ());
-                          state.(pid) <- Running;
-                          continue k current
-                        end
-                        else begin
-                          (match (sink, state.(pid)) with
-                          | Some s, Running ->
-                              (* first unsuccessful check: the processor
-                                 settles onto its cached copy *)
-                              s.Probe.emit ~proc:pid ~time:t (Probe.Park { addr })
-                          | _ -> ());
-                          state.(pid) <- Parked addr;
-                          Mem.watch mem ~addr ~wake:(fun change ->
-                              attempt (if change > t then change else t))
-                        end)
+                    state.(pid) <- Running;
+                    continue k current
+                  end
+                  else begin
+                    (match (sink, state.(pid)) with
+                    | Some s, Running ->
+                        (* first unsuccessful check: the processor
+                           settles onto its cached copy *)
+                        s.Probe.emit ~proc:pid ~time:t (Probe.Park { addr })
+                    | _ -> ());
+                    state.(pid) <- Parked addr;
+                    Mem.watch mem ~addr ~wake:(fun change ->
+                        attempt (if change > t then change else t))
+                  end
+                in
+                if policy == Sched.fifo then begin
+                  (* same fast path as [resume_at] *)
+                  incr step;
+                  Evq.push q ~time:t (arm t)
+                end
+                else
+                  let verdict =
+                    policy
+                      { Sched.proc = pid; time = t; step = !step; op = Sched.Wait }
+                  in
+                  incr step;
+                  match verdict with
+                  | Sched.Stall_forever ->
+                      (match sink with
+                      | Some s -> s.Probe.emit ~proc:pid ~time:t Probe.Crash
+                      | None -> ());
+                      crash pid
+                  | Sched.Pause _ | Sched.Run _ ->
+                      let t, weight =
+                        match verdict with
+                        | Sched.Pause n -> (t + max 0 n, 0)
+                        | Sched.Run d -> (t + max 0 d.Sched.delay, d.Sched.weight)
+                        | Sched.Stall_forever -> assert false
+                      in
+                      Evq.push q ~time:t ~weight (arm t)
               in
               attempt ptime.(pid))
       | Now -> Some (fun k -> continue k ptime.(pid))
@@ -340,32 +358,35 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo) ?probe
       effc;
     }
   in
-  let prev_active = !Probe.active in
-  Probe.active := probe <> None;
-  Fun.protect ~finally:(fun () -> Probe.active := prev_active) @@ fun () ->
+  let prev_active = Probe.active () in
+  Probe.set_active (probe <> None);
+  Mem.set_probing mem (probe <> None);
+  Fun.protect ~finally:(fun () -> Probe.set_active prev_active) @@ fun () ->
   for pid = 0 to nprocs - 1 do
     Effect.Deep.match_with (fun () -> program shared pid) () (handler pid)
   done;
   let rec loop () =
     if !running > !faulted then
-      match Evq.pop q with
-      | None ->
-          if watchdog <> None || !faulted > 0 then
-            raise (Progress_failure (diagnose "event queue drained"))
-          else
-            raise
-              (Deadlock
-                 (Printf.sprintf "%d processors blocked at cycle %d" !running
-                    !clock))
-      | Some (t, fire) ->
-          if t > max_cycles then raise (Cycle_limit t);
-          clock := t;
-          (match watchdog with
-          | Some k when t - !last_progress > k ->
-              raise (Progress_failure (diagnose "watchdog expired"))
-          | _ -> ());
-          fire ();
-          loop ()
+      if Evq.is_empty q then
+        if watchdog <> None || !faulted > 0 then
+          raise (Progress_failure (diagnose "event queue drained"))
+        else
+          raise
+            (Deadlock
+               (Printf.sprintf "%d processors blocked at cycle %d" !running
+                  !clock))
+      else begin
+        let e = Evq.pop_exn q in
+        let t = e.Evq.time in
+        if t > max_cycles then raise (Cycle_limit t);
+        clock := t;
+        (match watchdog with
+        | Some k when t - !last_progress > k ->
+            raise (Progress_failure (diagnose "watchdog expired"))
+        | _ -> ());
+        e.Evq.run ();
+        loop ()
+      end
   in
   loop ();
   ( shared,

@@ -9,17 +9,26 @@ type figure = {
   series : series list;
 }
 
+type harness = {
+  jobs : int;
+  wall_s : float;
+  experiments : (string * float) list;
+  baseline_wall_s : float option;
+  speedup : float option;
+}
+
 type t = {
   paper : string;
   seed : int;
   scale : string;
   figures : figure list;
   metrics : (string * Json.t) list; (* free-form extras, e.g. per-queue derived metrics *)
+  harness : harness option; (* wall-clock measurements: the one run-dependent section *)
 }
 
-let make ?(paper = "shavit-zemach-podc99") ?(metrics = []) ~seed ~scale figures
-    =
-  { paper; seed; scale; figures; metrics }
+let make ?(paper = "shavit-zemach-podc99") ?(metrics = []) ?harness ~seed
+    ~scale figures =
+  { paper; seed; scale; figures; metrics; harness }
 
 let series_to_json s =
   Json.Obj
@@ -42,6 +51,26 @@ let figure_to_json f =
       ("series", Json.List (List.map series_to_json f.series));
     ]
 
+let harness_to_json h =
+  Json.Obj
+    ([
+       ("jobs", Json.Int h.jobs);
+       ("wall_s", Json.Float h.wall_s);
+       ( "experiments",
+         Json.List
+           (List.map
+              (fun (id, s) ->
+                Json.Obj [ ("id", Json.String id); ("wall_s", Json.Float s) ])
+              h.experiments) );
+     ]
+    @ (match h.baseline_wall_s with
+      | Some s -> [ ("baseline_wall_s", Json.Float s) ]
+      | None -> [])
+    @
+    match h.speedup with
+    | Some s -> [ ("speedup", Json.Float s) ]
+    | None -> [])
+
 let to_json t =
   Json.Obj
     ([
@@ -51,7 +80,11 @@ let to_json t =
        ("scale", Json.String t.scale);
        ("figures", Json.List (List.map figure_to_json t.figures));
      ]
-    @ if t.metrics = [] then [] else [ ("metrics", Json.Obj t.metrics) ])
+    @ (if t.metrics = [] then [] else [ ("metrics", Json.Obj t.metrics) ])
+    @
+    match t.harness with
+    | Some h -> [ ("harness", harness_to_json h) ]
+    | None -> [])
 
 let to_string t = Json.to_string (to_json t)
 
@@ -105,6 +138,37 @@ let validate_figure ctx j =
   if series = [] then Error (ctx ^ ": empty series list")
   else all (ctx ^ ".series") validate_series 0 series
 
+let v_float ctx key j =
+  need ctx
+    (Printf.sprintf "number field %S" key)
+    (Option.bind (Json.member key j) Json.to_float)
+
+let validate_experiment ctx j =
+  let* _ = v_string ctx "id" j in
+  let* _ = v_float ctx "wall_s" j in
+  Ok ()
+
+let validate_harness ctx j =
+  let* jobs = v_int ctx "jobs" j in
+  if jobs < 1 then Error (ctx ^ ": jobs must be >= 1")
+  else
+    let* _ = v_float ctx "wall_s" j in
+    let* experiments = v_list ctx "experiments" j in
+    let* () = all (ctx ^ ".experiments") validate_experiment 0 experiments in
+    let opt_float key =
+      match Json.member key j with
+      | None -> Ok ()
+      | Some v ->
+          let* _ =
+            need ctx
+              (Printf.sprintf "number field %S" key)
+              (Json.to_float v)
+          in
+          Ok ()
+    in
+    let* () = opt_float "baseline_wall_s" in
+    opt_float "speedup"
+
 let validate j =
   let ctx = "BENCH" in
   let* v = v_int ctx "schema_version" j in
@@ -118,7 +182,11 @@ let validate j =
     let* _ = v_string ctx "scale" j in
     let* figures = v_list ctx "figures" j in
     if figures = [] then Error (ctx ^ ": empty figures list")
-    else all (ctx ^ ".figures") validate_figure 0 figures
+    else
+      let* () = all (ctx ^ ".figures") validate_figure 0 figures in
+      match Json.member "harness" j with
+      | None -> Ok ()
+      | Some h -> validate_harness (ctx ^ ".harness") h
 
 let validate_string s =
   match Json.of_string s with

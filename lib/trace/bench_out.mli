@@ -21,17 +21,34 @@ type figure = {
   series : series list;
 }
 
+type harness = {
+  jobs : int;  (** domains used for the experiment sweep *)
+  wall_s : float;  (** total wall-clock of the figures phase, seconds *)
+  experiments : (string * float) list;
+      (** per-experiment [(figure id, wall seconds)] *)
+  baseline_wall_s : float option;
+      (** reference wall-clock (e.g. the recorded [jobs = 1] baseline),
+          when known *)
+  speedup : float option;  (** [baseline_wall_s /. wall_s], when known *)
+}
+(** Wall-clock measurements of the harness itself — the perf trajectory
+    CI archives.  This is the {e one} section of BENCH.json whose bytes
+    legitimately vary between runs; determinism comparisons must strip
+    it (everything else is byte-stable per seed). *)
+
 type t = {
   paper : string;
   seed : int;
   scale : string;  (** "quick" | "full" | "tiny" — informational *)
   figures : figure list;
   metrics : (string * Json.t) list;  (** free-form extras *)
+  harness : harness option;
 }
 
 val make :
   ?paper:string ->
   ?metrics:(string * Json.t) list ->
+  ?harness:harness ->
   seed:int ->
   scale:string ->
   figure list ->
@@ -43,7 +60,8 @@ val to_string : t -> string
 val validate : Json.t -> (unit, string) result
 (** structural validation of a parsed document: required fields, types,
     non-empty figures, each with non-empty series of (x:int, y:number)
-    points; rejects other [schema_version]s *)
+    points; an optional [harness] section with jobs/wall_s/experiments;
+    rejects other [schema_version]s *)
 
 val validate_string : string -> (unit, string) result
 (** parse + validate *)

@@ -1,0 +1,11 @@
+(** SHA-256 (FIPS 180-4), self-contained.
+
+    The golden-digest determinism tests pin tables and traces by hash;
+    the stdlib's [Digest] is MD5 and no crypto package is pinned, so the
+    hash lives here.  Sized for kilobyte inputs, not bulk hashing. *)
+
+val digest_string : string -> string
+(** [digest_string s] is the lowercase-hex SHA-256 of [s] (64 chars). *)
+
+val hex_of_string : string -> string
+(** lowercase-hex of raw bytes (helper for other fixtures) *)

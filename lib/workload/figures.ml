@@ -1,59 +1,74 @@
-type scale = { ops : int; max_procs : int }
+type scale = { ops : int; max_procs : int; jobs : int }
 
-let quick = { ops = 15; max_procs = 64 }
-let full = { ops = 40; max_procs = 256 }
+let quick = { ops = 15; max_procs = 64; jobs = 1 }
+let full = { ops = 40; max_procs = 256; jobs = 1 }
 
-let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
+(* one write per line so progress from parallel workers doesn't tear *)
+let progress fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_string (s ^ "\n");
+      flush stderr)
+    fmt
+
+(* Fan one figure's (series × point) grid across [scale.jobs] domains
+   and regroup per series.  [Pool.map] preserves cell order, and every
+   table is printed from the returned groups on the calling domain, so
+   job count cannot change any output; at [jobs = 1] this is the plain
+   sequential nested loop.  Sound because each cell is an independent
+   simulation — it owns its seeded RNGs and its memory, and the
+   simulator keeps no cross-run state. *)
+let grid scale ~series ~points ~run ~mk =
+  let cells =
+    List.concat_map (fun s -> List.map (fun x -> (s, x)) (points s)) series
+  in
+  let out = ref (Pool.map ~jobs:scale.jobs (fun (s, x) -> run s x) cells) in
+  List.map
+    (fun s ->
+      let rec take n =
+        if n = 0 then []
+        else
+          match !out with
+          | [] -> assert false
+          | y :: tl ->
+              out := tl;
+              y :: take (n - 1)
+      in
+      mk s (take (List.length (points s))))
+    series
+
+let concurrencies scale procs = List.filter (fun p -> p <= scale.max_procs) procs
 
 let queue_series scale ~queues ~npriorities ~procs ?(tweak = Fun.id) () =
-  List.map
-    (fun queue ->
-      {
-        Table.label = queue;
-        points =
-          List.filter_map
-            (fun nprocs ->
-              if nprocs > scale.max_procs then None
-              else begin
-                progress "[bench] %s N=%d P=%d" queue npriorities nprocs;
-                let s = tweak (Workload.spec ~queue ~nprocs ~npriorities) in
-                let r = Workload.run ~ops_per_proc:scale.ops s in
-                Some (nprocs, r.latency_all)
-              end)
-            procs;
-      })
-    queues
+  grid scale ~series:queues
+    ~points:(fun _ -> concurrencies scale procs)
+    ~run:(fun queue nprocs ->
+      progress "[bench] %s N=%d P=%d" queue npriorities nprocs;
+      let s = tweak (Workload.spec ~queue ~nprocs ~npriorities) in
+      let r = Workload.run ~ops_per_proc:scale.ops s in
+      (nprocs, r.latency_all))
+    ~mk:(fun queue points -> { Table.label = queue; points })
 
 (* ------------------------------------------------------------------ *)
 
 let fig5_procs = [ 4; 8; 16; 32; 64; 128; 256 ]
 
 let fig5_left scale =
-  let series ~label ~mode =
-    {
-      Table.label;
-      points =
-        List.filter_map
-          (fun p ->
-            if p > scale.max_procs then None
-            else begin
-              progress "[bench] fig5L %s P=%d" label p;
-              Some
-                ( p,
-                  Counterbench.run ~mode ~nprocs:p ~dec_percent:50
-                    ~ops_per_proc:scale.ops () )
-            end)
-          fig5_procs;
-    }
-  in
   let data =
-    [
-      series ~label:"Fetch-and-add" ~mode:Counterbench.Faa;
-      series ~label:"BFaD+elim"
-        ~mode:(Counterbench.Bounded { elim = true });
-      series ~label:"BFaD-noelim"
-        ~mode:(Counterbench.Bounded { elim = false });
-    ]
+    grid scale
+      ~series:
+        [
+          ("Fetch-and-add", Counterbench.Faa);
+          ("BFaD+elim", Counterbench.Bounded { elim = true });
+          ("BFaD-noelim", Counterbench.Bounded { elim = false });
+        ]
+      ~points:(fun _ -> concurrencies scale fig5_procs)
+      ~run:(fun (label, mode) p ->
+        progress "[bench] fig5L %s P=%d" label p;
+        ( p,
+          Counterbench.run ~mode ~nprocs:p ~dec_percent:50
+            ~ops_per_proc:scale.ops () ))
+      ~mk:(fun (label, _) points -> { Table.label; points })
   in
   Table.print
     ~title:
@@ -64,24 +79,20 @@ let fig5_left scale =
 let fig5_right scale =
   let p = min 256 scale.max_procs in
   let percents = [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ] in
-  let series ~label ~mode =
-    {
-      Table.label;
-      points =
-        List.map
-          (fun pc ->
-            progress "[bench] fig5R %s dec%%=%d" label pc;
-            ( pc,
-              Counterbench.run ~mode ~nprocs:p ~dec_percent:pc
-                ~ops_per_proc:scale.ops () ))
-          percents;
-    }
-  in
   let data =
-    [
-      series ~label:"Fetch-and-add" ~mode:Counterbench.Faa;
-      series ~label:"BFaD+elim" ~mode:(Counterbench.Bounded { elim = true });
-    ]
+    grid scale
+      ~series:
+        [
+          ("Fetch-and-add", Counterbench.Faa);
+          ("BFaD+elim", Counterbench.Bounded { elim = true });
+        ]
+      ~points:(fun _ -> percents)
+      ~run:(fun (label, mode) pc ->
+        progress "[bench] fig5R %s dec%%=%d" label pc;
+        ( pc,
+          Counterbench.run ~mode ~nprocs:p ~dec_percent:pc
+            ~ops_per_proc:scale.ops () ))
+      ~mk:(fun (label, _) points -> { Table.label; points })
   in
   Table.print
     ~title:
@@ -130,25 +141,24 @@ let fig8 scale =
     |> List.filter (fun (p, _) -> p <= scale.max_procs)
   in
   let data =
-    List.concat_map
-      (fun (p, n) ->
-        List.map
-          (fun queue ->
-            progress "[bench] fig8 %s N=%d P=%d" queue n p;
-            let r =
-              Workload.run ~ops_per_proc:scale.ops
-                (Workload.spec ~queue ~nprocs:p ~npriorities:n)
-            in
-            {
-              f8_procs = p;
-              f8_priorities = n;
-              f8_queue = queue;
-              f8_insert = r.latency_insert;
-              f8_delete = r.latency_delete;
-              f8_all = r.latency_all;
-            })
-          Pqcore.Registry.scalable_names)
-      configs
+    grid scale ~series:configs
+      ~points:(fun _ -> Pqcore.Registry.scalable_names)
+      ~run:(fun (p, n) queue ->
+        progress "[bench] fig8 %s N=%d P=%d" queue n p;
+        let r =
+          Workload.run ~ops_per_proc:scale.ops
+            (Workload.spec ~queue ~nprocs:p ~npriorities:n)
+        in
+        {
+          f8_procs = p;
+          f8_priorities = n;
+          f8_queue = queue;
+          f8_insert = r.latency_insert;
+          f8_delete = r.latency_delete;
+          f8_all = r.latency_all;
+        })
+      ~mk:(fun _ cells -> cells)
+    |> List.concat
   in
   let k v = Printf.sprintf "%.1f" (v /. 1000.) in
   let rows =
@@ -186,22 +196,16 @@ let fig8 scale =
 let fig9 scale ~nprocs ~queues ~title =
   let priorities = [ 2; 4; 8; 16; 32; 64; 128; 256; 512 ] in
   let data =
-    List.map
-      (fun queue ->
-        {
-          Table.label = queue;
-          points =
-            List.map
-              (fun n ->
-                progress "[bench] fig9 %s N=%d P=%d" queue n nprocs;
-                let r =
-                  Workload.run ~ops_per_proc:scale.ops
-                    (Workload.spec ~queue ~nprocs ~npriorities:n)
-                in
-                (n, r.latency_all))
-              priorities;
-        })
-      queues
+    grid scale ~series:queues
+      ~points:(fun _ -> priorities)
+      ~run:(fun queue n ->
+        progress "[bench] fig9 %s N=%d P=%d" queue n nprocs;
+        let r =
+          Workload.run ~ops_per_proc:scale.ops
+            (Workload.spec ~queue ~nprocs ~npriorities:n)
+        in
+        (n, r.latency_all))
+      ~mk:(fun queue points -> { Table.label = queue; points })
   in
   Table.print ~title ~xlabel:"N" data;
   data
@@ -232,29 +236,19 @@ let sweep = [ 4; 16; 64; 128; 256 ]
 
 let ablation_cutoff scale =
   let data =
-    List.map
-      (fun cutoff ->
-        {
-          Table.label = Printf.sprintf "cutoff=%d" cutoff;
-          points =
-            List.filter_map
-              (fun p ->
-                if p > scale.max_procs then None
-                else begin
-                  progress "[bench] cutoff=%d P=%d" cutoff p;
-                  let s =
-                    {
-                      (Workload.spec ~queue:"FunnelTree" ~nprocs:p
-                         ~npriorities:64)
-                      with
-                      cutoff;
-                    }
-                  in
-                  Some (p, (Workload.run ~ops_per_proc:scale.ops s).latency_all)
-                end)
-              sweep;
-        })
-      [ 0; 2; 4; 99 ]
+    grid scale ~series:[ 0; 2; 4; 99 ]
+      ~points:(fun _ -> concurrencies scale sweep)
+      ~run:(fun cutoff p ->
+        progress "[bench] cutoff=%d P=%d" cutoff p;
+        let s =
+          {
+            (Workload.spec ~queue:"FunnelTree" ~nprocs:p ~npriorities:64) with
+            cutoff;
+          }
+        in
+        (p, (Workload.run ~ops_per_proc:scale.ops s).latency_all))
+      ~mk:(fun cutoff points ->
+        { Table.label = Printf.sprintf "cutoff=%d" cutoff; points })
   in
   Table.print
     ~title:
@@ -278,28 +272,21 @@ let ablation_precheck scale =
   data
 
 let ablation_adaption scale =
-  let variant label adaptive =
-    {
-      Table.label;
-      points =
-        List.filter_map
-          (fun p ->
-            if p > scale.max_procs then None
-            else begin
-              progress "[bench] adaption=%s P=%d" label p;
-              let s =
-                {
-                  (Workload.spec ~queue:"FunnelTree" ~nprocs:p ~npriorities:16)
-                  with
-                  adaptive;
-                }
-              in
-              Some (p, (Workload.run ~ops_per_proc:scale.ops s).latency_all)
-            end)
-          sweep;
-    }
+  let data =
+    grid scale
+      ~series:[ ("adaptive", true); ("fixed-width", false) ]
+      ~points:(fun _ -> concurrencies scale sweep)
+      ~run:(fun (label, adaptive) p ->
+        progress "[bench] adaption=%s P=%d" label p;
+        let s =
+          {
+            (Workload.spec ~queue:"FunnelTree" ~nprocs:p ~npriorities:16) with
+            adaptive;
+          }
+        in
+        (p, (Workload.run ~ops_per_proc:scale.ops s).latency_all))
+      ~mk:(fun (label, _) points -> { Table.label; points })
   in
-  let data = [ variant "adaptive" true; variant "fixed-width" false ] in
   Table.print
     ~title:"Ablation: funnel layer-width adaption (FunnelTree, 16 priorities)"
     ~xlabel:"P" data;
@@ -336,21 +323,12 @@ let counter_shootout scale =
     Pqsim.Stats.mean r.Pqsim.Sim.stats "op"
   in
   let data =
-    List.map
-      (fun (label, maker) ->
-        {
-          Table.label;
-          points =
-            List.filter_map
-              (fun p ->
-                if p > scale.max_procs then None
-                else begin
-                  progress "[bench] counters %s P=%d" label p;
-                  Some (p, latency maker p)
-                end)
-              [ 2; 4; 8; 16; 32; 64; 128; 256 ];
-        })
-      makers
+    grid scale ~series:makers
+      ~points:(fun _ -> concurrencies scale [ 2; 4; 8; 16; 32; 64; 128; 256 ])
+      ~run:(fun (label, maker) p ->
+        progress "[bench] counters %s P=%d" label p;
+        (p, latency maker p))
+      ~mk:(fun (label, _) points -> { Table.label; points })
   in
   Table.print
     ~title:
@@ -367,27 +345,21 @@ let mix scale =
   let nprocs = min 128 scale.max_procs in
   let biases = [ 10; 30; 50; 70; 90 ] in
   let data =
-    List.map
-      (fun queue ->
-        {
-          Table.label = queue;
-          points =
-            List.map
-              (fun insert_bias ->
-                progress "[bench] mix %s ins%%=%d" queue insert_bias;
-                let s =
-                  {
-                    (Workload.spec ~queue ~nprocs ~npriorities:16) with
-                    insert_bias;
-                    (* keep the queue from draining dry or exploding *)
-                    prefill = 256;
-                  }
-                in
-                ( insert_bias,
-                  (Workload.run ~ops_per_proc:scale.ops s).latency_delete ))
-              biases;
-        })
-      [ "SimpleLinear"; "SimpleTree"; "FunnelTree" ]
+    grid scale
+      ~series:[ "SimpleLinear"; "SimpleTree"; "FunnelTree" ]
+      ~points:(fun _ -> biases)
+      ~run:(fun queue insert_bias ->
+        progress "[bench] mix %s ins%%=%d" queue insert_bias;
+        let s =
+          {
+            (Workload.spec ~queue ~nprocs ~npriorities:16) with
+            insert_bias;
+            (* keep the queue from draining dry or exploding *)
+            prefill = 256;
+          }
+        in
+        (insert_bias, (Workload.run ~ops_per_proc:scale.ops s).latency_delete))
+      ~mk:(fun queue points -> { Table.label = queue; points })
   in
   Table.print
     ~title:
@@ -405,24 +377,15 @@ let queue_depth scale =
   let nprocs = min 64 scale.max_procs in
   let depths = [ 0; 128; 512; 2048 ] in
   let data =
-    List.map
-      (fun queue ->
-        {
-          Table.label = queue;
-          points =
-            List.map
-              (fun prefill ->
-                progress "[bench] depth %s prefill=%d" queue prefill;
-                let s =
-                  {
-                    (Workload.spec ~queue ~nprocs ~npriorities:16) with
-                    prefill;
-                  }
-                in
-                (prefill, (Workload.run ~ops_per_proc:scale.ops s).latency_all))
-              depths;
-        })
-      Pqcore.Registry.scalable_names
+    grid scale ~series:Pqcore.Registry.scalable_names
+      ~points:(fun _ -> depths)
+      ~run:(fun queue prefill ->
+        progress "[bench] depth %s prefill=%d" queue prefill;
+        let s =
+          { (Workload.spec ~queue ~nprocs ~npriorities:16) with prefill }
+        in
+        (prefill, (Workload.run ~ops_per_proc:scale.ops s).latency_all))
+      ~mk:(fun queue points -> { Table.label = queue; points })
   in
   Table.print
     ~title:
@@ -452,22 +415,19 @@ let sensitivity scale =
   in
   let queues = [ "SimpleLinear"; "SimpleTree"; "FunnelTree" ] in
   let rows =
-    List.map
-      (fun (mname, machine) ->
-        mname
-        :: List.map
-             (fun queue ->
-               progress "[bench] sensitivity %s %s" mname queue;
-               let s =
-                 {
-                   (Workload.spec ~queue ~nprocs:p ~npriorities:16) with
-                   machine = Some machine;
-                 }
-               in
-               Printf.sprintf "%.0f"
-                 (Workload.run ~ops_per_proc:scale.ops s).latency_all)
-             queues)
-      machines
+    grid scale ~series:machines
+      ~points:(fun _ -> queues)
+      ~run:(fun (mname, machine) queue ->
+        progress "[bench] sensitivity %s %s" mname queue;
+        let s =
+          {
+            (Workload.spec ~queue ~nprocs:p ~npriorities:16) with
+            machine = Some machine;
+          }
+        in
+        Printf.sprintf "%.0f"
+          (Workload.run ~ops_per_proc:scale.ops s).latency_all)
+      ~mk:(fun (mname, _) cells -> mname :: cells)
   in
   Table.print_rows
     ~title:
@@ -504,12 +464,24 @@ let bench_series data =
     (fun s -> { Pqtrace.Bench_out.name = s.Table.label; points = s.points })
     data
 
-let collect scale =
+let collect ?timings scale =
+  let timed id f =
+    match timings with
+    | None -> f ()
+    | Some acc ->
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        acc := (id, Unix.gettimeofday () -. t0) :: !acc;
+        r
+  in
   let fig id title xlabel data =
     { Pqtrace.Bench_out.id; title; xlabel; series = bench_series data }
   in
+  (* figures execute in this order — historically the right-to-left
+     evaluation of the result list literal, kept explicit so printed
+     tables stay in the established order *)
   let fig8_figure =
-    let data = fig8 scale in
+    let data = timed "fig8" (fun () -> fig8 scale) in
     let configs =
       List.sort_uniq compare
         (List.map (fun c -> (c.f8_priorities, c.f8_queue)) data)
@@ -544,31 +516,73 @@ let collect scale =
       series;
     }
   in
-  [
-    fig "fig5_left" "funnel counter latency, 50/50 inc/dec (cycles/op)" "P"
-      (fig5_left scale);
-    fig "fig5_right" "funnel counter latency vs decrement share (cycles/op)"
-      "%dec" (fig5_right scale);
-    fig "fig6" "all queues, 16 priorities, low concurrency (cycles/access)"
-      "P" (fig6 scale);
-    fig "fig7" "scalable queues, 16 priorities, high concurrency (cycles/access)"
-      "P" (fig7 scale);
-    fig8_figure;
-    fig "fig9_left" "latency vs priority range, 64 processors (cycles/access)"
-      "N" (fig9_left scale);
-    fig "fig9_right" "latency vs priority range, 256 processors (cycles/access)"
-      "N" (fig9_right scale);
-    fig "ablation_cutoff" "FunnelTree funnel/MCS cut-off depth (cycles/access)"
-      "P" (ablation_cutoff scale);
+  let mix_f =
+    fig "mix" "delete-min latency vs insert share (cycles/delete)" "%ins"
+      (timed "mix" (fun () -> mix scale))
+  in
+  let queue_depth_f =
+    fig "queue_depth" "latency on a pre-filled queue (cycles/access)" "depth"
+      (timed "queue_depth" (fun () -> queue_depth scale))
+  in
+  let counter_shootout_f =
+    fig "counter_shootout"
+      "fetch-and-increment latency across counters (cycles/op)" "P"
+      (timed "counter_shootout" (fun () -> counter_shootout scale))
+  in
+  let ablation_adaption_f =
+    fig "ablation_adaption" "funnel layer-width adaption (cycles/access)" "P"
+      (timed "ablation_adaption" (fun () -> ablation_adaption scale))
+  in
+  let ablation_precheck_f =
     fig "ablation_precheck"
       "LinearFunnels delete-min emptiness pre-check (cycles/access)" "P"
-      (ablation_precheck scale);
-    fig "ablation_adaption" "funnel layer-width adaption (cycles/access)" "P"
-      (ablation_adaption scale);
-    fig "counter_shootout" "fetch-and-increment latency across counters (cycles/op)"
-      "P" (counter_shootout scale);
-    fig "queue_depth" "latency on a pre-filled queue (cycles/access)" "depth"
-      (queue_depth scale);
-    fig "mix" "delete-min latency vs insert share (cycles/delete)" "%ins"
-      (mix scale);
+      (timed "ablation_precheck" (fun () -> ablation_precheck scale))
+  in
+  let ablation_cutoff_f =
+    fig "ablation_cutoff" "FunnelTree funnel/MCS cut-off depth (cycles/access)"
+      "P"
+      (timed "ablation_cutoff" (fun () -> ablation_cutoff scale))
+  in
+  let fig9_right_f =
+    fig "fig9_right" "latency vs priority range, 256 processors (cycles/access)"
+      "N"
+      (timed "fig9_right" (fun () -> fig9_right scale))
+  in
+  let fig9_left_f =
+    fig "fig9_left" "latency vs priority range, 64 processors (cycles/access)"
+      "N"
+      (timed "fig9_left" (fun () -> fig9_left scale))
+  in
+  let fig7_f =
+    fig "fig7" "scalable queues, 16 priorities, high concurrency (cycles/access)"
+      "P"
+      (timed "fig7" (fun () -> fig7 scale))
+  in
+  let fig6_f =
+    fig "fig6" "all queues, 16 priorities, low concurrency (cycles/access)" "P"
+      (timed "fig6" (fun () -> fig6 scale))
+  in
+  let fig5_right_f =
+    fig "fig5_right" "funnel counter latency vs decrement share (cycles/op)"
+      "%dec"
+      (timed "fig5_right" (fun () -> fig5_right scale))
+  in
+  let fig5_left_f =
+    fig "fig5_left" "funnel counter latency, 50/50 inc/dec (cycles/op)" "P"
+      (timed "fig5_left" (fun () -> fig5_left scale))
+  in
+  [
+    fig5_left_f;
+    fig5_right_f;
+    fig6_f;
+    fig7_f;
+    fig8_figure;
+    fig9_left_f;
+    fig9_right_f;
+    ablation_cutoff_f;
+    ablation_precheck_f;
+    ablation_adaption_f;
+    counter_shootout_f;
+    queue_depth_f;
+    mix_f;
   ]

@@ -10,13 +10,18 @@
 type scale = {
   ops : int;  (** queue accesses per processor *)
   max_procs : int;  (** skip sweep points above this concurrency *)
+  jobs : int;
+      (** host domains running experiment points concurrently (see
+          {!Pool}); any value produces byte-identical tables and
+          BENCH.json because points are independent and results are
+          merged in fixed point order *)
 }
 
 val quick : scale
-(** small runs for CI: up to 64 processors *)
+(** small runs for CI: up to 64 processors, [jobs = 1] *)
 
 val full : scale
-(** the paper's range: up to 256 processors *)
+(** the paper's range: up to 256 processors, [jobs = 1] *)
 
 val fig5_left : scale -> Table.series list
 (** funnel fetch-and-add vs bounded-decrement-with-elimination latency,
@@ -86,7 +91,10 @@ val sensitivity : scale -> string list list
 val run_all : scale -> unit
 (** print every figure, table and ablation *)
 
-val collect : scale -> Pqtrace.Bench_out.figure list
+val collect :
+  ?timings:(string * float) list ref -> scale -> Pqtrace.Bench_out.figure list
 (** run every Figure 5-9 experiment plus the ablations and extensions,
     printing each table as usual, and return the results as
-    schema-stable {!Pqtrace.Bench_out} figures for BENCH.json *)
+    schema-stable {!Pqtrace.Bench_out} figures for BENCH.json.
+    [timings] accumulates [(figure_id, wall_seconds)] per experiment for
+    the BENCH.json [harness] section. *)

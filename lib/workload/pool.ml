@@ -1,0 +1,55 @@
+(* Work-stealing map over a fixed point list for embarrassingly parallel
+   experiment sweeps.  Each point is an independent deterministic
+   simulation (it owns its seeded RNGs and its memory), so the only job
+   of the pool is to keep [jobs] domains busy and to hand the results
+   back in point order — callers print tables from the returned list,
+   which makes every table byte-identical regardless of job count. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "PQBENCH_JOBS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+                | Some j when j >= 1 -> j
+                | _ -> 1)
+  | None -> 1
+
+let map ~jobs f items =
+  if jobs <= 1 then List.map f items
+  else
+    match items with
+    | [] -> []
+    | _ ->
+        let arr = Array.of_list items in
+        let n = Array.length arr in
+        let out = Array.make n None in
+        let err = Array.make n None in
+        let next = Atomic.make 0 in
+        let worker () =
+          let continue_ = ref true in
+          while !continue_ do
+            let i = Atomic.fetch_and_add next 1 in
+            if i >= n then continue_ := false
+            else
+              match f arr.(i) with
+              | v -> out.(i) <- Some v
+              | exception e ->
+                  err.(i) <- Some (e, Printexc.get_raw_backtrace ())
+          done
+        in
+        let helpers =
+          List.init
+            (min (jobs - 1) (n - 1))
+            (fun _ -> Domain.spawn worker)
+        in
+        worker ();
+        List.iter Domain.join helpers;
+        (* deterministic failure: re-raise the first error in point
+           order, whichever domain hit it *)
+        Array.iter
+          (function
+            | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+            | None -> ())
+          err;
+        Array.to_list
+          (Array.map
+             (function Some v -> v | None -> assert false)
+             out)

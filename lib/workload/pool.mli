@@ -1,0 +1,21 @@
+(** Domain pool for parallel experiment sweeps.
+
+    Experiment points are independent deterministic simulations, so a
+    sweep is an order-preserving parallel map: results come back in
+    point order no matter which domain computed what, and [jobs = 1]
+    (the default everywhere) is exactly [List.map] — same work, same
+    order, same output.  Progress lines printed {e by} points may
+    interleave when [jobs > 1]; anything derived from the returned list
+    (tables, BENCH.json series) cannot. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item across [jobs] domains
+    (the calling domain plus [jobs - 1] spawned helpers, work-stealing
+    over the list) and returns the results in item order.  [jobs <= 1]
+    runs [List.map f items] in the calling domain.  If any [f] raises,
+    the remaining items still run and the first exception in {e item}
+    order is re-raised — deterministic regardless of scheduling. *)
+
+val default_jobs : unit -> int
+(** The [PQBENCH_JOBS] environment variable (a positive integer), or 1.
+    CLI entry points use this as the [--jobs] default. *)

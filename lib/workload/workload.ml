@@ -69,7 +69,7 @@ let params_of (s : spec) : Pqcore.Pq_intf.params =
     funnel_cutoff = s.cutoff;
   }
 
-let run ?ops_per_proc ?probe ?policy (s : spec) =
+let run ?ops_per_proc ?probe ?policy ?watchdog (s : spec) =
   let s =
     match ops_per_proc with Some o -> { s with ops_per_proc = o } | None -> s
   in
@@ -77,7 +77,8 @@ let run ?ops_per_proc ?probe ?policy (s : spec) =
   let deleted = Array.make s.nprocs [] in
   let empty_deletes = ref 0 in
   let (q, _), result =
-    Sim.run ?machine:s.machine ?probe ?policy ~nprocs:s.nprocs ~seed:s.seed
+    Sim.run ?machine:s.machine ?probe ?policy ?watchdog ~nprocs:s.nprocs
+      ~seed:s.seed
       ~setup:(fun mem ->
         let q = Pqcore.Registry.create s.queue mem (params_of s) in
         let barrier = Pqsync.Barrier.create mem ~nprocs:s.nprocs in

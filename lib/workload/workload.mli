@@ -54,6 +54,7 @@ val run :
   ?ops_per_proc:int ->
   ?probe:Pqsim.Probe.t ->
   ?policy:Pqsim.Sched.t ->
+  ?watchdog:int ->
   spec ->
   result
 (** [run spec] executes one benchmark; raises {!Verification_failure} if

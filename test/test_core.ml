@@ -318,6 +318,29 @@ let scalable_extra name =
         (smoke_high_concurrency name);
     ] )
 
+(* PR 4's recorded latent finding: HuntEtAl deadlocked under the
+   random-preemption audit schedule at seed 123.  Root cause: delete_min's
+   sift-down released a child lock it had already dropped on the
+   empty-tag path, which unlocked a later holder's acquisition and
+   stranded that holder's successor forever.  The exact audit repro, now
+   expected to complete (the watchdog turns any regression into a prompt
+   Progress_failure instead of a hung test). *)
+let test_hunt_random_preemption_seed123 () =
+  let spec =
+    {
+      (Pqbenchlib.Workload.spec ~queue:"HuntEtAl" ~nprocs:16 ~npriorities:16)
+      with
+      Pqbenchlib.Workload.ops_per_proc = 40;
+      seed = 123;
+    }
+  in
+  let r =
+    Pqbenchlib.Workload.run ~watchdog:2_000_000
+      ~policy:(Pqexplore.Policy.random ~seed:123 ())
+      spec
+  in
+  Alcotest.(check bool) "run completed" true (r.Pqbenchlib.Workload.cycles > 0)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -334,5 +357,7 @@ let () =
             Alcotest.test_case "capacity rejection" `Quick
               test_capacity_rejection;
             Alcotest.test_case "registry unknown" `Quick test_registry_unknown;
+            Alcotest.test_case "hunt random preemption seed 123" `Quick
+              test_hunt_random_preemption_seed123;
           ] );
       ])

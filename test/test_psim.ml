@@ -109,6 +109,43 @@ let test_evq_random_order =
       in
       drain min_int)
 
+let test_evq_model =
+  (* the non-allocating pop_exn/drain path (what Sim.run uses) against a
+     reference sorted-list model under interleaved pushes and pops; the
+     total order is (time, weight, seq) ascending, seq = push order *)
+  QCheck.Test.make ~name:"evq pop_exn/drain matches sorted-list model"
+    ~count:300
+    QCheck.(list (pair bool (pair (int_bound 50) (int_bound 3))))
+    (fun script ->
+      let q = Pqsim.Evq.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (is_pop, (time, weight)) ->
+          if is_pop then
+            match (!model, Pqsim.Evq.is_empty q) with
+            | [], true -> (
+                match Pqsim.Evq.pop_exn q with
+                | _ -> ok := false
+                | exception Pqsim.Evq.Empty -> ())
+            | [], false | _ :: _, true -> ok := false
+            | m :: rest, false ->
+                model := rest;
+                let e = Pqsim.Evq.pop_exn q in
+                if (e.Pqsim.Evq.time, e.Pqsim.Evq.weight, e.Pqsim.Evq.seq) <> m
+                then ok := false
+          else begin
+            Pqsim.Evq.push q ~time ~weight ignore;
+            model := List.merge compare !model [ (time, weight, !seq) ];
+            incr seq
+          end)
+        script;
+      let rest = ref [] in
+      Pqsim.Evq.drain q (fun e ->
+          rest := (e.Pqsim.Evq.time, e.Pqsim.Evq.weight, e.Pqsim.Evq.seq) :: !rest);
+      !ok && List.rev !rest = !model)
+
 let test_evq_total_stable_order =
   (* the engine's determinism rests on this total order: (time, weight)
      ascending, push order breaking exact ties *)
@@ -397,7 +434,8 @@ let () =
           Alcotest.test_case "time order" `Quick test_evq_order;
           Alcotest.test_case "fifo ties" `Quick test_evq_fifo_ties;
         ] );
-      qsuite "evq-props" [ test_evq_random_order; test_evq_total_stable_order ];
+      qsuite "evq-props"
+        [ test_evq_random_order; test_evq_total_stable_order; test_evq_model ];
       ( "mem",
         [
           Alcotest.test_case "alloc disjoint" `Quick test_mem_alloc_disjoint;

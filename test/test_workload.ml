@@ -150,7 +150,7 @@ let test_table_rows_alignment () =
 (* ------------------------------------------------------------------ *)
 (* quick figure smoke: tiny scales, checks the plumbing end to end *)
 
-let tiny = { Pqbenchlib.Figures.ops = 6; max_procs = 8 }
+let tiny = { Pqbenchlib.Figures.ops = 6; max_procs = 8; jobs = 1 }
 
 let test_figures_smoke () =
   (* suppress the tables; we only care that every experiment runs and
