@@ -77,6 +77,63 @@ let () =
               Pqtrace.Metrics.to_json r.Pqbenchlib.Profiler.derived ))
           [ "SingleLock"; "HuntEtAl"; "SimpleTree"; "FunnelTree" ])
   in
+  (* the rank-error verification section: the same gate `pqbench rank`
+     enforces, at its fixed configuration (independent of --scale so the
+     section is comparable across quick and full documents) *)
+  let rank =
+    timed "rank" (fun () ->
+        let reports =
+          Pqbenchlib.Pool.map ~jobs
+            (fun q -> Pqexplore.Rank_driver.measure_queue q)
+            Pqexplore.Rank_driver.default_queues
+        in
+        let queues =
+          List.map
+            (fun (r : Pqexplore.Rank_driver.report) ->
+              {
+                Pqtrace.Bench_out.queue = r.queue;
+                bound = r.bound;
+                relaxed = r.relaxed;
+                worst_rank = r.worst_rank;
+                worst_delay = r.worst_delay;
+                pass = r.pass;
+                runs =
+                  List.map
+                    (fun (run : Pqexplore.Rank_driver.run) ->
+                      let s = run.stats in
+                      {
+                        Pqtrace.Bench_out.schedule = run.schedule;
+                        run_seed = run.seed;
+                        deletes = s.Pqcheck.Rank.deletes;
+                        empties = s.empties;
+                        max_rank = s.max_rank;
+                        mean_rank = s.mean_rank;
+                        p99_rank = s.p99_rank;
+                        max_delay = s.max_delay;
+                        mean_delay = s.mean_delay;
+                        p99_delay = s.p99_delay;
+                      })
+                    r.runs;
+              })
+            reports
+        in
+        Printf.printf
+          "\nRank-error verification (P=8, N=16, 30 ops/proc, seeds 42/1/7):\n\
+           %-22s %7s %10s %11s %6s\n"
+          "queue" "bound" "worst-rank" "worst-delay" "gate";
+        List.iter
+          (fun (r : Pqexplore.Rank_driver.report) ->
+            Printf.printf "%-22s %7d %10d %11d %6s\n" r.queue r.bound
+              r.worst_rank r.worst_delay
+              (if r.pass then "pass" else "FAIL"))
+          reports;
+        {
+          Pqtrace.Bench_out.rank_nprocs = 8;
+          rank_npriorities = 16;
+          rank_ops_per_proc = 30;
+          queues;
+        })
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let r3 x = Float.round (x *. 1000.) /. 1000. in
   let baseline_wall_s =
@@ -99,7 +156,7 @@ let () =
   let doc =
     Pqtrace.Bench_out.make ~seed:42
       ~scale:(if quick then "quick" else "full")
-      ~metrics ~harness figures
+      ~metrics ~rank ~harness figures
   in
   let text = Pqtrace.Bench_out.to_string doc in
   (match Pqtrace.Bench_out.validate_string text with

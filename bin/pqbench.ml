@@ -35,6 +35,12 @@ let experiments : (string * string * (Pqbenchlib.Figures.scale -> unit)) list =
      fun s -> ignore (Pqbenchlib.Figures.queue_depth s));
     ("mix", "latency vs insert share of the access mix",
      fun s -> ignore (Pqbenchlib.Figures.mix s));
+    ("relaxed", "MultiQueue family vs the paper's seven (pqrelax)",
+     fun s -> ignore (Pqbenchlib.Figures.relaxed s));
+    ("relaxedscale", "MultiQueue vs the scalable queues, 2-256 procs",
+     fun s -> ignore (Pqbenchlib.Figures.relaxed_scale s));
+    ("rankerror", "worst rank error per concurrency (pqrelax)",
+     fun s -> ignore (Pqbenchlib.Figures.rank_error s));
     ("all", "every figure, table and ablation", Pqbenchlib.Figures.run_all);
   ]
 
@@ -59,8 +65,17 @@ let scale_term =
 
 let list_cmd =
   let run () =
-    print_endline "queues:";
-    List.iter (Printf.printf "  %s\n") Pqcore.Registry.names;
+    print_endline "queues (the paper's seven, strict):";
+    List.iter (Printf.printf "  %s\n") Pqcore.Registry.names_paper;
+    print_endline "ablation variants (strict):";
+    List.iter (Printf.printf "  %s\n")
+      (List.filter
+         (fun n ->
+           (not (List.mem n Pqcore.Registry.names_paper))
+           && not (List.mem n Pqcore.Registry.names_relaxed))
+         Pqcore.Registry.names);
+    print_endline "relaxed (MultiQueue family, bounded rank error):";
+    List.iter (Printf.printf "  %s\n") Pqcore.Registry.names_relaxed;
     print_endline "experiments:";
     List.iter (fun (n, d, _) -> Printf.printf "  %-10s %s\n" n d) experiments;
     print_endline
@@ -498,6 +513,108 @@ let races_cmd =
         $ Terms.ops ~default:40 $ Terms.seed $ no_adversarial $ report
         $ Terms.jobs))
 
+let rank_cmd =
+  let seeds =
+    Arg.(
+      value & opt string "42,1,7"
+      & info [ "seeds" ] ~docv:"S1,S2,.."
+          ~doc:"Comma-separated workload seeds, each run under every schedule.")
+  in
+  let no_adversarial =
+    Arg.(
+      value & flag
+      & info [ "no-adversarial" ]
+          ~doc:"Measure only the default schedule (skip pqexplore policies).")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Also write the report to $(docv).")
+  in
+  let parse_seeds s =
+    try
+      Ok
+        (String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+        |> List.map int_of_string)
+    with Failure _ -> Error (Printf.sprintf "bad --seeds %S" s)
+  in
+  let run queue procs priorities ops seeds no_adversarial report jobs =
+    match parse_seeds seeds with
+    | Error e -> `Error (false, e)
+    | Ok seeds -> (
+        let queues =
+          if queue = "all" then Ok Pqexplore.Rank_driver.default_queues
+          else Terms.resolve_queues queue
+        in
+        match queues with
+        | Error e -> `Error (false, e)
+        | Ok queues ->
+            (* per-queue measurements are independent deterministic runs:
+               fan out, report in queue order *)
+            let reports =
+              Pqbenchlib.Pool.map ~jobs
+                (fun q ->
+                  Pqexplore.Rank_driver.measure_queue ~nprocs:procs
+                    ~npriorities:priorities ~ops_per_proc:ops ~seeds
+                    ~adversarial:(not no_adversarial) q)
+                queues
+            in
+            let buf = Buffer.create 4096 in
+            let ppf = Format.formatter_of_buffer buf in
+            List.iter
+              (Format.fprintf ppf "%a@." Pqexplore.Rank_driver.pp_report)
+              reports;
+            Format.fprintf ppf "@[<v>%-22s %7s %10s %11s %6s@," "queue" "bound"
+              "worst-rank" "worst-delay" "gate";
+            List.iter
+              (fun (r : Pqexplore.Rank_driver.report) ->
+                Format.fprintf ppf "%-22s %7d %10d %11d %6s@," r.queue r.bound
+                  r.worst_rank r.worst_delay
+                  (if r.pass then "pass" else "FAIL"))
+              reports;
+            Format.fprintf ppf "@]@.";
+            Format.pp_print_flush ppf ();
+            print_string (Buffer.contents buf);
+            (match report with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (Buffer.contents buf);
+                close_out oc;
+                Printf.printf "wrote %s\n" path
+            | None -> ());
+            let bad =
+              List.filter_map
+                (fun (r : Pqexplore.Rank_driver.report) ->
+                  if r.pass then None else Some r.queue)
+                reports
+            in
+            if bad = [] then `Ok ()
+            else
+              `Error
+                ( false,
+                  "rank-error bound exceeded by: " ^ String.concat ", " bad ))
+  in
+  Cmd.v
+    (Cmd.info "rank"
+       ~doc:
+         "Measure each queue's rank error (how far delete-min strays from \
+          the true minimum) under default, random-preemption and PCT \
+          schedules, and gate it: strict queues must measure exactly 0, \
+          MultiQueue variants must stay under their configured bound.")
+    Term.(
+      ret
+        (const run
+        $ Terms.queue ~default:"all"
+            ~doc:
+              "Queue algorithm, or $(b,all) for the paper's seven plus every \
+               MultiQueue variant."
+        $ Terms.procs ~default:8 $ Terms.priorities ~default:16
+        $ Terms.ops ~default:30 $ seeds $ no_adversarial $ report
+        $ Terms.jobs))
+
 let lint_cmd =
   let root =
     Arg.(
@@ -554,5 +671,5 @@ let () =
           (Cmd.info "pqbench" ~doc)
           [
             list_cmd; run_cmd; bench_cmd; profile_cmd; trace_cmd; validate_cmd;
-            explore_cmd; faults_cmd; races_cmd; lint_cmd;
+            explore_cmd; faults_cmd; races_cmd; rank_cmd; lint_cmd;
           ]))

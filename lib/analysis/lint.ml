@@ -268,7 +268,10 @@ let load_allow path =
   end
 
 let default_dirs =
-  [ "lib/core"; "lib/sync"; "lib/funnel"; "lib/structures"; "lib/counters" ]
+  [
+    "lib/core"; "lib/sync"; "lib/funnel"; "lib/structures"; "lib/counters";
+    "lib/relaxed";
+  ]
 
 let read_file path =
   let ic = open_in_bin path in

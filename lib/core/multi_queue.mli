@@ -1,0 +1,30 @@
+(** {!Pqrelaxed.Multiqueue} behind the {!Pq_intf} face, with the
+    registry's ablation variants: base pick-2 ("MultiQueue"), more slots
+    ("MultiQueueC4"), slot reuse ("MultiQueueSticky") and per-slot
+    insertion/deletion buffers ("MultiQueueBuffered"). *)
+
+val names : string list
+(** variant names, base first *)
+
+val config_of_name : string -> Pqrelaxed.Multiqueue.config option
+
+val rank_bound_for : string -> nprocs:int -> int option
+(** the rank-error bound the verification gate holds a variant to;
+    [None] for non-MultiQueue names *)
+
+val create : string -> Pqsim.Mem.t -> Pq_intf.params -> Pq_intf.t
+(** @raise Invalid_argument on unknown variant names *)
+
+(** {1 Element packing}
+
+    This family packs (priority, payload) into one slot key itself
+    rather than through {!Pqstruct.Elem}: Elem's 24-bit payloads
+    overflow at the 256-processor workload scale, so these use 40
+    payload bits.  Priority-major, so key order is element order. *)
+
+val max_payload : int
+
+val pack : pri:int -> payload:int -> int
+(** @raise Invalid_argument when [payload] is negative or >= {!max_payload} *)
+
+val unpack : int -> int * int

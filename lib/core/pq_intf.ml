@@ -33,6 +33,20 @@ type params = {
   funnel_cutoff : int;  (** FunnelTree: tree levels (from root) using funnels *)
 }
 
+let validate (p : params) =
+  let bad = ref [] in
+  let need_pos name v = if v < 1 then bad := Printf.sprintf "%s = %d (want >= 1)" name v :: !bad in
+  need_pos "ops_per_proc" p.ops_per_proc;
+  need_pos "bin_capacity" p.bin_capacity;
+  need_pos "capacity" p.capacity;
+  need_pos "npriorities" p.npriorities;
+  need_pos "nprocs" p.nprocs;
+  match !bad with
+  | [] -> ()
+  | bad ->
+      invalid_arg
+        ("Pq_intf.validate: invalid params: " ^ String.concat ", " bad)
+
 let default_params ~nprocs ~npriorities =
   {
     nprocs;

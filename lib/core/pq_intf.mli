@@ -33,4 +33,11 @@ type params = {
   funnel_cutoff : int;  (** FunnelTree: tree levels (from root) using funnels *)
 }
 
+val validate : params -> unit
+(** @raise Invalid_argument naming every field that is out of range
+    ([nprocs], [npriorities], [capacity], [bin_capacity] and
+    [ops_per_proc] must all be >= 1).  {!Registry.create} calls this
+    before construction so every queue family rejects bad parameters
+    the same way. *)
+
 val default_params : nprocs:int -> npriorities:int -> params

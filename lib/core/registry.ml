@@ -13,11 +13,16 @@ let table =
     ("LinearFunnelsFifo", Linear_funnels.create_fifo);
     ("LinearFunnelsHybrid", Linear_funnels.create_hybrid);
   ]
+  (* the relaxed MultiQueue family (pqrelax): not queues from the paper,
+     but the comparison points the rank-error subsystem quantifies *)
+  @ List.map (fun n -> (n, Multi_queue.create n)) Multi_queue.names
 
 let names = List.map fst table
+let names_relaxed = Multi_queue.names
 
 let variants =
   [ "LinearFunnelsNoCheck"; "LinearFunnelsFifo"; "LinearFunnelsHybrid" ]
+  @ names_relaxed
 
 let names_paper =
   List.filter (fun n -> not (List.mem n variants)) (List.map fst table)
@@ -27,8 +32,10 @@ let scalable_names =
 
 let create name mem params =
   match List.assoc_opt name table with
-  | Some f -> f mem params
+  | Some f ->
+      Pq_intf.validate params;
+      f mem params
   | None ->
       invalid_arg
         (Printf.sprintf "Registry.create: unknown queue %S (known: %s)" name
-           (String.concat ", " names))
+           (String.concat ", " (List.sort compare names)))

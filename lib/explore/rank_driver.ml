@@ -1,0 +1,62 @@
+type run = { schedule : string; seed : int; stats : Pqcheck.Rank.stats }
+
+type report = {
+  queue : string;
+  bound : int;
+  relaxed : bool;
+  runs : run list;
+  worst_rank : int;
+  worst_delay : int;
+  pass : bool;
+}
+
+let default_seeds = [ 42; 1; 7 ]
+let default_queues = Pqcore.Registry.names_paper @ Pqcore.Registry.names_relaxed
+
+let measure_queue ?(nprocs = 8) ?(npriorities = 16) ?(ops_per_proc = 30)
+    ?(seeds = default_seeds) ?(adversarial = true) queue =
+  let runs =
+    List.concat_map
+      (fun seed ->
+        let schedules =
+          ("default", None)
+          ::
+          (if adversarial then
+             [
+               ("random-preemption", Some (Policy.random ~seed ()));
+               ("pct", Some (Policy.pct ~seed ~nprocs ()));
+             ]
+           else [])
+        in
+        List.map
+          (fun (schedule, policy) ->
+            let h =
+              Pqcheck.History.record ~queue ~nprocs ~npriorities ~ops_per_proc
+                ~seed ?policy ()
+            in
+            { schedule; seed; stats = Pqcheck.Rank.measure h })
+          schedules)
+      seeds
+  in
+  let worst f = List.fold_left (fun m r -> max m (f r.stats)) 0 runs in
+  let worst_rank = worst (fun s -> s.Pqcheck.Rank.max_rank) in
+  let worst_delay = worst (fun s -> s.Pqcheck.Rank.max_delay) in
+  let bound, relaxed =
+    match Pqcore.Multi_queue.rank_bound_for queue ~nprocs with
+    | Some b -> (b, true)
+    | None -> (0, false)
+  in
+  { queue; bound; relaxed; runs; worst_rank; worst_delay;
+    pass = worst_rank <= bound }
+
+let pp_report ppf r =
+  Format.fprintf ppf "%-22s %s  bound %-5d worst rank %-5d worst delay %-5d%s@."
+    r.queue
+    (if r.pass then "PASS" else "FAIL")
+    r.bound r.worst_rank r.worst_delay
+    (if r.relaxed then "  (relaxed)" else "");
+  List.iter
+    (fun run ->
+      Format.fprintf ppf "    %-18s seed %-3d %a" run.schedule run.seed
+        Pqcheck.Rank.pp run.stats)
+    r.runs

@@ -1,0 +1,48 @@
+(** The rank-error verification gate: measure {!Pqcheck.Rank} statistics
+    for a queue under the default, random-preemption and PCT schedules,
+    and hold the result to the queue's configured bound.
+
+    Strict queues (everything outside the MultiQueue family) are bound
+    to rank error exactly 0 — the oracle counts only definitely-live
+    elements, so any nonzero value is a real ordering violation, not
+    schedule noise.  MultiQueue variants are bound by
+    {!Pqcore.Multi_queue.rank_bound_for}: finite, deterministic per
+    seed, and an ablation surface (more slots, stickiness, buffers move
+    the measured error). *)
+
+type run = {
+  schedule : string;  (** "default" | "random-preemption" | "pct" *)
+  seed : int;
+  stats : Pqcheck.Rank.stats;
+}
+
+type report = {
+  queue : string;
+  bound : int;  (** 0 for strict queues *)
+  relaxed : bool;
+  runs : run list;
+  worst_rank : int;  (** max over runs of [stats.max_rank] *)
+  worst_delay : int;
+  pass : bool;  (** [worst_rank <= bound] *)
+}
+
+val default_seeds : int list
+(** 42, 1, 7 — the race-audit seeds *)
+
+val measure_queue :
+  ?nprocs:int ->
+  ?npriorities:int ->
+  ?ops_per_proc:int ->
+  ?seeds:int list ->
+  ?adversarial:bool ->
+  string ->
+  report
+(** defaults: 8 processors, 16 priorities, 30 ops/processor,
+    {!default_seeds}, adversarial schedules on.  Deterministic per
+    (queue, shape, seeds). *)
+
+val default_queues : string list
+(** the gate's population: the paper's seven strict queues followed by
+    every MultiQueue variant *)
+
+val pp_report : Format.formatter -> report -> unit

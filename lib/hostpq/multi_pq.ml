@@ -1,0 +1,193 @@
+let name = "multiqueue"
+
+(* one slot: a sequential binary min-heap behind a Mutex, its minimum
+   published in an Atomic for lock-free pick-2 comparison *)
+type 'a slot = {
+  lock : Mutex.t;
+  top : int Atomic.t;  (* min priority present, or max_int *)
+  mutable keys : int array;
+  mutable vals : 'a option array;
+  mutable size : int;
+}
+
+type 'a t = {
+  slot_arr : 'a slot array;
+  npriorities : int;
+  ticket : int Atomic.t;  (* pick stream state *)
+}
+
+let slots t = Array.length t.slot_arr
+
+let make_slot () =
+  {
+    lock = Mutex.create ();
+    top = Atomic.make max_int;
+    keys = Array.make 16 0;
+    vals = Array.make 16 None;
+    size = 0;
+  }
+
+let create_sized ~npriorities ~slots () =
+  if npriorities <= 0 || slots <= 0 then invalid_arg "Multi_pq.create_sized";
+  {
+    slot_arr = Array.init slots (fun _ -> make_slot ());
+    npriorities;
+    ticket = Atomic.make 0;
+  }
+
+let create ~npriorities () =
+  create_sized ~npriorities
+    ~slots:(max 2 (2 * Domain.recommended_domain_count ()))
+    ()
+
+(* well-mixed pick stream: splitmix-style hash of a shared ticket, so
+   concurrent pickers spread over the slots without thread-local state *)
+let pick t =
+  let z = Atomic.fetch_and_add t.ticket 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 30)) * 0x106689D45497235B in
+  let z = (z lxor (z lsr 27)) * 0x1D8E4E27C47D124F in
+  (z lxor (z lsr 31)) land max_int mod Array.length t.slot_arr
+
+(* sequential heap ops; caller holds [s.lock] *)
+
+let publish s =
+  Atomic.set s.top (if s.size = 0 then max_int else s.keys.(0))
+
+let grow s =
+  let cap = 2 * Array.length s.keys in
+  let keys = Array.make cap 0 and vals = Array.make cap None in
+  Array.blit s.keys 0 keys 0 s.size;
+  Array.blit s.vals 0 vals 0 s.size;
+  s.keys <- keys;
+  s.vals <- vals
+
+let heap_insert s ~pri v =
+  if s.size = Array.length s.keys then grow s;
+  let rec up i =
+    if i = 0 then i
+    else
+      let p = (i - 1) / 2 in
+      if s.keys.(p) <= pri then i
+      else begin
+        s.keys.(i) <- s.keys.(p);
+        s.vals.(i) <- s.vals.(p);
+        up p
+      end
+  in
+  let i = up s.size in
+  s.size <- s.size + 1;
+  s.keys.(i) <- pri;
+  s.vals.(i) <- Some v;
+  publish s
+
+let heap_extract s =
+  if s.size = 0 then None
+  else begin
+    let pri = s.keys.(0) and v = s.vals.(0) in
+    s.size <- s.size - 1;
+    let lk = s.keys.(s.size) and lv = s.vals.(s.size) in
+    s.vals.(s.size) <- None;
+    if s.size > 0 then begin
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        if l >= s.size then i
+        else
+          let c = if r < s.size && s.keys.(r) < s.keys.(l) then r else l in
+          if s.keys.(c) >= lk then i
+          else begin
+            s.keys.(i) <- s.keys.(c);
+            s.vals.(i) <- s.vals.(c);
+            down c
+          end
+      in
+      let i = down 0 in
+      s.keys.(i) <- lk;
+      s.vals.(i) <- lv
+    end;
+    publish s;
+    match v with Some v -> Some (pri, v) | None -> assert false
+  end
+
+let pick_attempts = 8
+
+let insert t ~pri v =
+  if pri < 0 || pri >= t.npriorities then invalid_arg "Multi_pq.insert";
+  let retry = Retry.start "Multi_pq.insert" in
+  let rec go n =
+    let s = t.slot_arr.(pick t) in
+    if Mutex.try_lock s.lock then begin
+      heap_insert s ~pri v;
+      Mutex.unlock s.lock
+    end
+    else if n >= pick_attempts then begin
+      (* contended enough that waiting beats re-picking *)
+      Mutex.lock s.lock;
+      heap_insert s ~pri v;
+      Mutex.unlock s.lock
+    end
+    else begin
+      Retry.once retry;
+      go (n + 1)
+    end
+  in
+  go 0
+
+let delete_min t =
+  let nslots = Array.length t.slot_arr in
+  let retry = Retry.start "Multi_pq.delete_min" in
+  (* exhaustive fallback: only a blocking pass over every slot may
+     answer None *)
+  let scan () =
+    let start = pick t in
+    let rec go i =
+      if i >= nslots then None
+      else begin
+        let s = t.slot_arr.((start + i) mod nslots) in
+        if Atomic.get s.top = max_int then go (i + 1)
+        else begin
+          Mutex.lock s.lock;
+          let r = heap_extract s in
+          Mutex.unlock s.lock;
+          match r with Some _ -> r | None -> go (i + 1)
+        end
+      end
+    in
+    go 0
+  in
+  let rec go n =
+    if n >= pick_attempts then scan ()
+    else begin
+      let a = t.slot_arr.(pick t) and b = t.slot_arr.(pick t) in
+      let ta = Atomic.get a.top and tb = Atomic.get b.top in
+      if ta = max_int && tb = max_int then begin
+        Retry.once retry;
+        go (n + 1)
+      end
+      else begin
+        let s = if ta <= tb then a else b in
+        if Mutex.try_lock s.lock then begin
+          let r = heap_extract s in
+          Mutex.unlock s.lock;
+          match r with
+          | Some _ -> r
+          | None ->
+              (* raced with another deleter; the pick is stale *)
+              go (n + 1)
+        end
+        else begin
+          Retry.once retry;
+          go (n + 1)
+        end
+      end
+    end
+  in
+  go 0
+
+let length t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let n = s.size in
+      Mutex.unlock s.lock;
+      acc + n)
+    0 t.slot_arr

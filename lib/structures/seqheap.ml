@@ -36,6 +36,10 @@ let insert t key =
     true
   end
 
+let peek_min t =
+  let sz = Api.read t.size_a in
+  if sz = 0 then None else Some (Api.read (slot t 0))
+
 let extract_min t =
   let sz = Api.read t.size_a in
   if sz = 0 then None

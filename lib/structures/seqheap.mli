@@ -17,6 +17,9 @@ val size : t -> int
 val insert : t -> int -> bool
 (** [insert t key] sifts [key] up from the last slot; false when full. *)
 
+val peek_min : t -> int option
+(** costed read of the minimum without removing it *)
+
 val extract_min : t -> int option
 
 val peek_list : Pqsim.Mem.t -> t -> int list

@@ -17,18 +17,49 @@ type harness = {
   speedup : float option;
 }
 
+type rank_run = {
+  schedule : string;
+  run_seed : int;
+  deletes : int;
+  empties : int;
+  max_rank : int;
+  mean_rank : float;
+  p99_rank : int;
+  max_delay : int;
+  mean_delay : float;
+  p99_delay : int;
+}
+
+type rank_queue = {
+  queue : string;
+  bound : int;
+  relaxed : bool;
+  worst_rank : int;
+  worst_delay : int;
+  pass : bool;
+  runs : rank_run list;
+}
+
+type rank = {
+  rank_nprocs : int;
+  rank_npriorities : int;
+  rank_ops_per_proc : int;
+  queues : rank_queue list;
+}
+
 type t = {
   paper : string;
   seed : int;
   scale : string;
   figures : figure list;
   metrics : (string * Json.t) list; (* free-form extras, e.g. per-queue derived metrics *)
+  rank : rank option; (* rank-error verification results (pqbench rank) *)
   harness : harness option; (* wall-clock measurements: the one run-dependent section *)
 }
 
-let make ?(paper = "shavit-zemach-podc99") ?(metrics = []) ?harness ~seed
+let make ?(paper = "shavit-zemach-podc99") ?(metrics = []) ?rank ?harness ~seed
     ~scale figures =
-  { paper; seed; scale; figures; metrics; harness }
+  { paper; seed; scale; figures; metrics; rank; harness }
 
 let series_to_json s =
   Json.Obj
@@ -71,6 +102,42 @@ let harness_to_json h =
     | Some s -> [ ("speedup", Json.Float s) ]
     | None -> [])
 
+let rank_run_to_json r =
+  Json.Obj
+    [
+      ("schedule", Json.String r.schedule);
+      ("seed", Json.Int r.run_seed);
+      ("deletes", Json.Int r.deletes);
+      ("empties", Json.Int r.empties);
+      ("max_rank", Json.Int r.max_rank);
+      ("mean_rank", Json.Float r.mean_rank);
+      ("p99_rank", Json.Int r.p99_rank);
+      ("max_delay", Json.Int r.max_delay);
+      ("mean_delay", Json.Float r.mean_delay);
+      ("p99_delay", Json.Int r.p99_delay);
+    ]
+
+let rank_queue_to_json q =
+  Json.Obj
+    [
+      ("queue", Json.String q.queue);
+      ("bound", Json.Int q.bound);
+      ("relaxed", Json.Bool q.relaxed);
+      ("worst_rank", Json.Int q.worst_rank);
+      ("worst_delay", Json.Int q.worst_delay);
+      ("pass", Json.Bool q.pass);
+      ("runs", Json.List (List.map rank_run_to_json q.runs));
+    ]
+
+let rank_to_json r =
+  Json.Obj
+    [
+      ("nprocs", Json.Int r.rank_nprocs);
+      ("npriorities", Json.Int r.rank_npriorities);
+      ("ops_per_proc", Json.Int r.rank_ops_per_proc);
+      ("queues", Json.List (List.map rank_queue_to_json r.queues));
+    ]
+
 let to_json t =
   Json.Obj
     ([
@@ -81,6 +148,9 @@ let to_json t =
        ("figures", Json.List (List.map figure_to_json t.figures));
      ]
     @ (if t.metrics = [] then [] else [ ("metrics", Json.Obj t.metrics) ])
+    @ (match t.rank with
+      | Some r -> [ ("rank", rank_to_json r) ]
+      | None -> [])
     @
     match t.harness with
     | Some h -> [ ("harness", harness_to_json h) ]
@@ -169,6 +239,55 @@ let validate_harness ctx j =
     let* () = opt_float "baseline_wall_s" in
     opt_float "speedup"
 
+let v_bool ctx key j =
+  match Json.member key j with
+  | Some (Json.Bool b) -> Ok b
+  | _ -> Error (Printf.sprintf "%s: missing or mistyped boolean field %S" ctx key)
+
+let validate_rank_run ctx j =
+  let* schedule = v_string ctx "schedule" j in
+  let ctx = Printf.sprintf "%s(%s)" ctx schedule in
+  let* _ = v_int ctx "seed" j in
+  let* _ = v_int ctx "deletes" j in
+  let* _ = v_int ctx "empties" j in
+  let* _ = v_int ctx "max_rank" j in
+  let* _ = v_float ctx "mean_rank" j in
+  let* _ = v_int ctx "p99_rank" j in
+  let* _ = v_int ctx "max_delay" j in
+  let* _ = v_float ctx "mean_delay" j in
+  let* _ = v_int ctx "p99_delay" j in
+  Ok ()
+
+let validate_rank_queue ctx j =
+  let* queue = v_string ctx "queue" j in
+  let ctx = Printf.sprintf "%s(%s)" ctx queue in
+  let* bound = v_int ctx "bound" j in
+  let* relaxed = v_bool ctx "relaxed" j in
+  let* worst = v_int ctx "worst_rank" j in
+  let* _ = v_int ctx "worst_delay" j in
+  let* pass = v_bool ctx "pass" j in
+  let* runs = v_list ctx "runs" j in
+  if runs = [] then Error (ctx ^ ": empty runs list")
+  else
+    let* () = all (ctx ^ ".runs") validate_rank_run 0 runs in
+    (* the gate's own consistency: a strict queue's bound is 0 and the
+       recorded verdict matches the recorded numbers *)
+    if (not relaxed) && bound <> 0 then
+      Error (ctx ^ ": strict queue with nonzero bound")
+    else if pass <> (worst <= bound) then
+      Error (ctx ^ ": pass flag contradicts worst_rank vs bound")
+    else Ok ()
+
+let validate_rank ctx j =
+  let* nprocs = v_int ctx "nprocs" j in
+  if nprocs < 1 then Error (ctx ^ ": nprocs must be >= 1")
+  else
+    let* _ = v_int ctx "npriorities" j in
+    let* _ = v_int ctx "ops_per_proc" j in
+    let* queues = v_list ctx "queues" j in
+    if queues = [] then Error (ctx ^ ": empty queues list")
+    else all (ctx ^ ".queues") validate_rank_queue 0 queues
+
 let validate j =
   let ctx = "BENCH" in
   let* v = v_int ctx "schema_version" j in
@@ -184,9 +303,14 @@ let validate j =
     if figures = [] then Error (ctx ^ ": empty figures list")
     else
       let* () = all (ctx ^ ".figures") validate_figure 0 figures in
-      match Json.member "harness" j with
+      let* () =
+        match Json.member "rank" j with
+        | None -> Ok ()
+        | Some r -> validate_rank (ctx ^ ".rank") r
+      in
+      (match Json.member "harness" j with
       | None -> Ok ()
-      | Some h -> validate_harness (ctx ^ ".harness") h
+      | Some h -> validate_harness (ctx ^ ".harness") h)
 
 let validate_string s =
   match Json.of_string s with

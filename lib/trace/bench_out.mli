@@ -36,18 +36,53 @@ type harness = {
     legitimately vary between runs; determinism comparisons must strip
     it (everything else is byte-stable per seed). *)
 
+type rank_run = {
+  schedule : string;  (** "default" | "random-preemption" | "pct" *)
+  run_seed : int;
+  deletes : int;
+  empties : int;
+  max_rank : int;
+  mean_rank : float;
+  p99_rank : int;
+  max_delay : int;
+  mean_delay : float;
+  p99_delay : int;
+}
+(** one (schedule, seed) measurement of {!Pqcheck.Rank} statistics *)
+
+type rank_queue = {
+  queue : string;
+  bound : int;  (** 0 for strict queues *)
+  relaxed : bool;
+  worst_rank : int;
+  worst_delay : int;
+  pass : bool;  (** [worst_rank <= bound] *)
+  runs : rank_run list;
+}
+
+type rank = {
+  rank_nprocs : int;
+  rank_npriorities : int;
+  rank_ops_per_proc : int;
+  queues : rank_queue list;
+}
+(** the rank-error verification section: deterministic per seed, so it
+    participates in byte-stability comparisons (unlike [harness]) *)
+
 type t = {
   paper : string;
   seed : int;
   scale : string;  (** "quick" | "full" | "tiny" — informational *)
   figures : figure list;
   metrics : (string * Json.t) list;  (** free-form extras *)
+  rank : rank option;
   harness : harness option;
 }
 
 val make :
   ?paper:string ->
   ?metrics:(string * Json.t) list ->
+  ?rank:rank ->
   ?harness:harness ->
   seed:int ->
   scale:string ->
@@ -60,8 +95,10 @@ val to_string : t -> string
 val validate : Json.t -> (unit, string) result
 (** structural validation of a parsed document: required fields, types,
     non-empty figures, each with non-empty series of (x:int, y:number)
-    points; an optional [harness] section with jobs/wall_s/experiments;
-    rejects other [schema_version]s *)
+    points; an optional [rank] section (non-empty queues each with
+    non-empty runs, strict queues bound to 0, pass flags consistent
+    with the recorded numbers); an optional [harness] section with
+    jobs/wall_s/experiments; rejects other [schema_version]s *)
 
 val validate_string : string -> (unit, string) result
 (** parse + validate *)

@@ -438,6 +438,60 @@ let sensitivity scale =
     ~header:("machine" :: queues) rows;
   rows
 
+(* ------------------------------------------------------------------ *)
+(* pqrelax: the relaxed MultiQueue family *)
+
+let relaxed scale =
+  let data =
+    queue_series scale
+      ~queues:(Pqcore.Registry.names_paper @ Pqcore.Registry.names_relaxed)
+      ~npriorities:16
+      ~procs:[ 2; 4; 8; 16 ] ()
+  in
+  Table.print
+    ~title:
+      "Relaxed (pqrelax): MultiQueue family vs the paper's seven, 16 \
+       priorities, low concurrency (cycles/access)"
+    ~xlabel:"P" data;
+  data
+
+let relaxed_scale scale =
+  let data =
+    queue_series scale
+      ~queues:("MultiQueue" :: Pqcore.Registry.scalable_names)
+      ~npriorities:16
+      ~procs:[ 2; 4; 8; 16; 32; 64; 128; 256 ] ()
+  in
+  Table.print
+    ~title:
+      "Relaxed (pqrelax): MultiQueue vs the scalable queues, 16 priorities, \
+       high concurrency (cycles/access)"
+    ~xlabel:"P" data;
+  data
+
+let rank_error scale =
+  (* the quality side of the relaxation trade: worst measured rank error
+     across default / random-preemption / PCT schedules (seeds 42, 1, 7)
+     per concurrency.  FunnelTree rides along as the strict baseline —
+     the oracle holds every strict queue to exactly 0. *)
+  let procs = concurrencies scale [ 2; 4; 8; 16 ] in
+  let data =
+    grid scale
+      ~series:(Pqcore.Registry.names_relaxed @ [ "FunnelTree" ])
+      ~points:(fun _ -> procs)
+      ~run:(fun queue p ->
+        progress "[bench] rank_error %s P=%d" queue p;
+        let r = Pqexplore.Rank_driver.measure_queue ~nprocs:p queue in
+        (p, float_of_int r.Pqexplore.Rank_driver.worst_rank))
+      ~mk:(fun queue points -> { Table.label = queue; points })
+  in
+  Table.print
+    ~title:
+      "Rank error (pqrelax): worst rank error over adversarial schedules, \
+       30 ops/processor (elements certainly overtaken per delete-min)"
+    ~xlabel:"P" data;
+  data
+
 let run_all scale =
   ignore (fig5_left scale);
   ignore (fig5_right scale);
@@ -452,6 +506,9 @@ let run_all scale =
   ignore (counter_shootout scale);
   ignore (queue_depth scale);
   ignore (mix scale);
+  ignore (relaxed scale);
+  ignore (relaxed_scale scale);
+  ignore (rank_error scale);
   ignore (sensitivity scale)
 
 (* ------------------------------------------------------------------ *)
@@ -480,6 +537,25 @@ let collect ?timings scale =
   (* figures execute in this order — historically the right-to-left
      evaluation of the result list literal, kept explicit so printed
      tables stay in the established order *)
+  let rank_error_f =
+    fig "rank_error"
+      "worst rank error over adversarial schedules (elements per delete-min)"
+      "P"
+      (timed "rank_error" (fun () -> rank_error scale))
+  in
+  let relaxed_scale_f =
+    fig "relaxed_scale"
+      "MultiQueue vs the scalable queues, high concurrency (cycles/access)"
+      "P"
+      (timed "relaxed_scale" (fun () -> relaxed_scale scale))
+  in
+  let relaxed_f =
+    fig "relaxed"
+      "MultiQueue family vs the paper's seven, low concurrency \
+       (cycles/access)"
+      "P"
+      (timed "relaxed" (fun () -> relaxed scale))
+  in
   let fig8_figure =
     let data = timed "fig8" (fun () -> fig8 scale) in
     let configs =
@@ -585,4 +661,7 @@ let collect ?timings scale =
     counter_shootout_f;
     queue_depth_f;
     mix_f;
+    relaxed_f;
+    relaxed_scale_f;
+    rank_error_f;
   ]

@@ -82,6 +82,19 @@ val queue_depth : scale -> Table.series list
 (** the same 50/50 workload on a queue pre-filled behind a barrier —
     deep-queue behaviour the paper's empty-start benchmark never probes *)
 
+val relaxed : scale -> Table.series list
+(** pqrelax: the MultiQueue family alongside the paper's seven at low
+    concurrency — what bounded rank error buys in cycles/access *)
+
+val relaxed_scale : scale -> Table.series list
+(** pqrelax: MultiQueue against the four scalable queues across the
+    paper's full 2-256 processor sweep *)
+
+val rank_error : scale -> Table.series list
+(** pqrelax: worst measured rank error per concurrency for every
+    MultiQueue variant (FunnelTree rides along as the strict zero
+    baseline), over default/random-preemption/PCT schedules *)
+
 val sensitivity : scale -> string list list
 (** the headline comparison re-run under perturbed machine cost models
     (slower network, dearer misses, longer atomic occupancy, uniform

@@ -14,6 +14,16 @@ let mk_params ~nprocs ~npriorities =
 
 let all_names = Pqcore.Registry.names
 
+(* the strict queues: everything promising exact delete-min.  The
+   relaxed MultiQueue family shares the registry face and the
+   conservation/invariant tests, but not the exact-semantics ones
+   (sorted drains, quiescent min) — its ordering contract is the
+   rank-error bound, gated by `pqbench rank` and test_relaxed.ml *)
+let strict_names =
+  List.filter
+    (fun n -> not (List.mem n Pqcore.Registry.names_relaxed))
+    all_names
+
 (* ------------------------------------------------------------------ *)
 (* sequential semantics *)
 
@@ -343,11 +353,23 @@ let test_hunt_random_preemption_seed123 () =
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
+let relaxed_suite name =
+  ( name,
+    [
+      Alcotest.test_case "empty returns None" `Quick
+        (seq_empty_returns_none name);
+      Alcotest.test_case "concurrent conservation" `Quick
+        (concurrent_conservation name);
+      Alcotest.test_case "conservation x6 seeds" `Slow
+        (conservation_many_seeds name);
+    ] )
+
 let () =
   Alcotest.run "pqcore"
-    (List.map per_queue_suite all_names
+    (List.map per_queue_suite strict_names
+    @ List.map relaxed_suite Pqcore.Registry.names_relaxed
     @ List.map scalable_extra Pqcore.Registry.scalable_names
-    @ [ qsuite "model-props" (List.map prop_matches_model all_names) ]
+    @ [ qsuite "model-props" (List.map prop_matches_model strict_names) ]
     @ [
         ( "details",
           [

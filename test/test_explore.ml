@@ -190,19 +190,38 @@ let test_shrunk_witness_still_violates () =
 
 let explore_claim queue () =
   let expect_lin = List.mem queue [ "SingleLock"; "HuntEtAl" ] in
-  let r =
-    Explore.run ~queue ~policy:Explore.default_random ~budget:24 ~seed:7 ()
+  let relaxed = List.mem queue Pqcore.Registry.names_relaxed in
+  let budget = if relaxed then 40 else 24 in
+  let cfg =
+    (* refuting quiescent consistency is exhaustive per run, and relaxed
+       histories refute almost every run: a short script keeps each
+       refutation cheap while pick-2 still skips the minimum *)
+    if relaxed then Some (Driver.config ~nprocs:4 ~ops_per_proc:4 queue)
+    else None
   in
-  check_int "budget consumed" 24 r.Explore.runs;
-  check_bool
-    (queue ^ " never violates quiescent consistency")
-    true
-    (r.Explore.level <> Verdict.Inconsistent);
-  if expect_lin then
-    Alcotest.(check string)
-      (queue ^ " stays linearizable under adversarial schedules")
-      "Linearizable"
-      (Verdict.level_to_string r.Explore.level)
+  let r =
+    Explore.run ?cfg ~queue ~policy:Explore.default_random ~budget ~seed:7 ()
+  in
+  check_int "budget consumed" budget r.Explore.runs;
+  if relaxed then
+    (* the MultiQueue's relaxation is structural: the explorer must
+       refute even quiescent consistency (pick-2 skips the true minimum
+       at quiescence).  How far it strays is the rank gate's business. *)
+    check_bool
+      (queue ^ " is visibly relaxed: quiescent consistency refuted")
+      true
+      (r.Explore.level = Verdict.Inconsistent)
+  else begin
+    check_bool
+      (queue ^ " never violates quiescent consistency")
+      true
+      (r.Explore.level <> Verdict.Inconsistent);
+    if expect_lin then
+      Alcotest.(check string)
+        (queue ^ " stays linearizable under adversarial schedules")
+        "Linearizable"
+        (Verdict.level_to_string r.Explore.level)
+  end
 
 let test_dfs_exhausts_bounded_space () =
   let cfg = Driver.config ~nprocs:2 ~ops_per_proc:4 "SingleLock" in

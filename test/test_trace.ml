@@ -318,6 +318,102 @@ let test_bench_out_rejects_tampered () =
   | Ok () -> Alcotest.fail "validator accepted garbage"
   | Error _ -> ()
 
+let sample_rank () =
+  let run schedule run_seed max_rank =
+    {
+      Pqtrace.Bench_out.schedule;
+      run_seed;
+      deletes = 10;
+      empties = 1;
+      max_rank;
+      mean_rank = 0.5;
+      p99_rank = max_rank;
+      max_delay = max_rank;
+      mean_delay = 0.25;
+      p99_delay = max_rank;
+    }
+  in
+  let queue ~queue ~bound ~relaxed ~worst ~pass =
+    {
+      Pqtrace.Bench_out.queue;
+      bound;
+      relaxed;
+      worst_rank = worst;
+      worst_delay = worst;
+      pass;
+      runs = [ run "default" 42 worst; run "pct" 42 0 ];
+    }
+  in
+  {
+    Pqtrace.Bench_out.rank_nprocs = 8;
+    rank_npriorities = 16;
+    rank_ops_per_proc = 30;
+    queues =
+      [
+        queue ~queue:"SingleLock" ~bound:0 ~relaxed:false ~worst:0 ~pass:true;
+        queue ~queue:"MultiQueue" ~bound:192 ~relaxed:true ~worst:9 ~pass:true;
+      ];
+  }
+
+let with_rank rank =
+  match sample_doc () with
+  | { Pqtrace.Bench_out.figures; _ } ->
+      Pqtrace.Bench_out.make ~seed:42 ~scale:"tiny" ~rank figures
+
+let test_bench_out_rank_valid () =
+  let text = Pqtrace.Bench_out.to_string (with_rank (sample_rank ())) in
+  (match Pqtrace.Bench_out.validate_string text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rank section rejected: %s" e);
+  check_string "deterministic bytes" text
+    (Pqtrace.Bench_out.to_string (with_rank (sample_rank ())))
+
+let test_bench_out_rank_rejects () =
+  (* the gate's own consistency rules, as enforced by the validator *)
+  let map_first f r =
+    {
+      r with
+      Pqtrace.Bench_out.queues =
+        (match r.Pqtrace.Bench_out.queues with
+        | q :: rest -> f q :: rest
+        | [] -> []);
+    }
+  in
+  let cases =
+    [
+      ( "strict queue with nonzero bound",
+        map_first
+          (fun q -> { q with Pqtrace.Bench_out.bound = 1; pass = true })
+          (sample_rank ()) );
+      ( "pass flag contradicting the numbers",
+        map_first
+          (fun q -> { q with Pqtrace.Bench_out.pass = false })
+          (sample_rank ()) );
+      ( "relaxed queue over its bound marked pass",
+        {
+          (sample_rank ()) with
+          Pqtrace.Bench_out.queues =
+            (match (sample_rank ()).Pqtrace.Bench_out.queues with
+            | [ strict; mq ] ->
+                [ strict; { mq with Pqtrace.Bench_out.worst_rank = 500 } ]
+            | qs -> qs);
+        } );
+      ( "empty runs",
+        map_first
+          (fun q -> { q with Pqtrace.Bench_out.runs = [] })
+          (sample_rank ()) );
+      ("empty queues", { (sample_rank ()) with Pqtrace.Bench_out.queues = [] });
+      ( "nprocs 0",
+        { (sample_rank ()) with Pqtrace.Bench_out.rank_nprocs = 0 } );
+    ]
+  in
+  List.iter
+    (fun (what, rank) ->
+      match Pqtrace.Bench_out.validate (Pqtrace.Bench_out.to_json (with_rank rank)) with
+      | Ok () -> Alcotest.failf "validator accepted %s" what
+      | Error _ -> ())
+    cases
+
 (* ------------------------------------------------------------------ *)
 (* contention profiler: symbolic attribution and ranking *)
 
@@ -398,6 +494,10 @@ let () =
           Alcotest.test_case "valid" `Quick test_bench_out_valid;
           Alcotest.test_case "rejects tampered" `Quick
             test_bench_out_rejects_tampered;
+          Alcotest.test_case "rank section valid" `Quick
+            test_bench_out_rank_valid;
+          Alcotest.test_case "rank section rejects" `Quick
+            test_bench_out_rank_rejects;
         ] );
       ( "profile",
         [
