@@ -134,6 +134,48 @@ let () =
           queues;
         })
   in
+  (* the chaos-matrix section: the `pqbench chaos` verdict table at its
+     quick configuration, seed 42 only (a fixed shape independent of
+     --scale, like the rank section, so documents stay comparable) *)
+  let chaos =
+    timed "chaos" (fun () ->
+        let cfg = { Pqchaos.Driver.quick with seeds = [ 42 ] } in
+        let cells = Pqchaos.Driver.run ~jobs cfg in
+        Printf.printf "\nChaos matrix (quick, seed 42): %d cells, worst %s\n"
+          (List.length cells)
+          (Pqchaos.Driver.verdict_label (Pqchaos.Driver.worst cells));
+        Format.printf "%a@." Pqchaos.Driver.pp_summary cells;
+        {
+          Pqtrace.Bench_out.chaos_nprocs = cfg.Pqchaos.Driver.nprocs;
+          chaos_npriorities = cfg.Pqchaos.Driver.npriorities;
+          chaos_ops_per_proc = cfg.Pqchaos.Driver.ops_per_proc;
+          chaos_safe =
+            not
+              (List.exists
+                 (fun (c : Pqchaos.Driver.cell) ->
+                   match c.verdict with
+                   | Pqchaos.Driver.Safety_violation _ -> true
+                   | _ -> false)
+                 cells);
+          cells =
+            List.map
+              (fun (c : Pqchaos.Driver.cell) ->
+                {
+                  Pqtrace.Bench_out.cc_queue = c.queue;
+                  cc_scenario = c.scenario;
+                  cc_plan = c.plan;
+                  cc_sched = c.sched;
+                  cc_seed = c.seed;
+                  cc_verdict = Pqchaos.Driver.verdict_label c.verdict;
+                  cc_cycles = c.cycles;
+                  cc_ops = c.ops;
+                  cc_worst_rank = c.worst_rank;
+                  cc_bound = c.bound;
+                  cc_dangling = c.dangling;
+                })
+              cells;
+        })
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let r3 x = Float.round (x *. 1000.) /. 1000. in
   let baseline_wall_s =
@@ -156,7 +198,7 @@ let () =
   let doc =
     Pqtrace.Bench_out.make ~seed:42
       ~scale:(if quick then "quick" else "full")
-      ~metrics ~rank ~harness figures
+      ~metrics ~rank ~chaos ~harness figures
   in
   let text = Pqtrace.Bench_out.to_string doc in
   (match Pqtrace.Bench_out.validate_string text with

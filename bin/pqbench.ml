@@ -315,12 +315,17 @@ let explore_cmd =
 
 let faults_cmd =
   let plans =
+    (* derive the documented arm list from Plan.names so the help text
+       can never drift from the parser *)
     Arg.(
       value & opt string "all"
       & info [ "plans" ] ~docv:"PLANS"
           ~doc:
-            "Comma-separated fault plans ($(b,crash-one), $(b,crash-lock), \
-             $(b,pause), $(b,slow-node)) or $(b,all).")
+            (Printf.sprintf "Comma-separated fault plans (%s) or $(b,all)."
+               (String.concat ", "
+                  (List.map
+                     (Printf.sprintf "$(b,%s)")
+                     Pqfault.Plan.names))))
   in
   let rounds =
     Arg.(
@@ -615,6 +620,244 @@ let rank_cmd =
         $ Terms.ops ~default:30 $ seeds $ no_adversarial $ report
         $ Terms.jobs))
 
+let chaos_cmd =
+  let scenarios =
+    Arg.(
+      value & opt string "all"
+      & info [ "scenarios" ] ~docv:"S1,S2,.."
+          ~doc:
+            (Printf.sprintf
+               "Comma-separated scenarios (%s) or $(b,all)."
+               (String.concat ", "
+                  (List.map
+                     (Printf.sprintf "$(b,%s)")
+                     Pqbenchlib.Scenario.names))))
+  in
+  let plans =
+    Arg.(
+      value & opt string "all"
+      & info [ "plans" ] ~docv:"PLANS"
+          ~doc:
+            (Printf.sprintf
+               "Comma-separated fault plans (%s) or $(b,all); $(b,none) is \
+                the fault-free arm."
+               (String.concat ", "
+                  (List.map
+                     (Printf.sprintf "$(b,%s)")
+                     Pqchaos.Driver.plan_names))))
+  in
+  let scheds =
+    Arg.(
+      value & opt string "default,pct"
+      & info [ "sched" ] ~docv:"P1,P2,.."
+          ~doc:
+            (Printf.sprintf "Comma-separated schedule policies (%s)."
+               (String.concat ", "
+                  (List.map
+                     (Printf.sprintf "$(b,%s)")
+                     Pqchaos.Driver.schedule_names))))
+  in
+  let seeds =
+    Arg.(
+      value & opt string "42,1,7"
+      & info [ "seeds" ] ~docv:"S1,S2,.."
+          ~doc:"Comma-separated workload seeds; each seeds a full matrix.")
+  in
+  let soak =
+    Arg.(
+      value & opt int 1
+      & info [ "soak" ] ~docv:"K"
+          ~doc:
+            "Soak multiplier: scales ops per processor (and the SSSP graph) \
+             by $(docv); monitors stream, so memory stays flat.")
+  in
+  let ops =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ops" ] ~docv:"N"
+          ~doc:"Operations per processor before soak scaling.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Smaller per-cell workloads (the CI smoke configuration).")
+  in
+  let host =
+    Arg.(
+      value & flag
+      & info [ "host" ]
+          ~doc:
+            "Also soak the host-level queues (real domains) through the \
+             phased scenarios and gate their conservation.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every cell.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Also write the report to $(docv).")
+  in
+  let parse_seeds s =
+    try
+      Ok
+        (String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+        |> List.map int_of_string)
+    with Failure _ -> Error (Printf.sprintf "bad --seeds %S" s)
+  in
+  let parse_csv ~alls ~of_string s =
+    if s = "all" then Ok alls
+    else
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+      |> List.fold_left
+           (fun acc x ->
+             match (acc, of_string x) with
+             | (Error _ as e), _ -> e
+             | _, (Error _ as e) -> e
+             | Ok xs, Ok x -> Ok (xs @ [ x ]))
+           (Ok [])
+  in
+  let parse_scenarios =
+    parse_csv ~alls:Pqbenchlib.Scenario.names ~of_string:(fun x ->
+        if List.mem x Pqbenchlib.Scenario.names then Ok x
+        else
+          Error
+            (Printf.sprintf "unknown scenario %S (known: %s)" x
+               (String.concat ", " Pqbenchlib.Scenario.names)))
+  in
+  let run queue scenarios plans scheds procs priorities ops seeds soak quick
+      host verbose report jobs =
+    let ( let* ) r f =
+      match r with Error e -> `Error (false, e) | Ok v -> f v
+    in
+    let* queues =
+      if queue = "all" then Ok Pqchaos.Driver.default_queues
+      else Terms.resolve_queues queue
+    in
+    let* scenarios = parse_scenarios scenarios in
+    let* plans =
+      parse_csv
+        ~alls:(None :: List.map Option.some Pqfault.Plan.all)
+        ~of_string:Pqchaos.Driver.plan_of_string plans
+    in
+    let* scheds =
+      parse_csv
+        ~alls:[ Pqchaos.Driver.Default; Pqchaos.Driver.Pct ]
+        ~of_string:Pqchaos.Driver.schedule_of_string scheds
+    in
+    let* seeds = parse_seeds seeds in
+    let base =
+      if quick then Pqchaos.Driver.quick else Pqchaos.Driver.default
+    in
+    let cfg =
+      {
+        base with
+        Pqchaos.Driver.queues;
+        scenarios;
+        plans;
+        scheds;
+        seeds;
+        nprocs = procs;
+        npriorities = priorities;
+        ops_per_proc =
+          Option.value ops ~default:base.Pqchaos.Driver.ops_per_proc;
+        soak;
+      }
+    in
+    let cells = Pqchaos.Driver.run ~jobs cfg in
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    if verbose then Format.fprintf ppf "%a@." Pqchaos.Driver.pp_cells cells;
+    Format.fprintf ppf "%a@." Pqchaos.Driver.pp_summary cells;
+    let host_failures =
+      if not host then []
+      else begin
+        let host_scenarios =
+          List.filter
+            (fun s ->
+              not (Pqbenchlib.Scenario.sim_only (Pqchaos.Driver.scenario_of cfg s)))
+            scenarios
+        in
+        Format.fprintf ppf "@[<v>host soaks (%d domains):@,"
+          cfg.Pqchaos.Driver.nprocs;
+        let failures = ref [] in
+        List.iter
+          (fun (qname, _) ->
+            List.iter
+              (fun scn ->
+                List.iter
+                  (fun seed ->
+                    let o =
+                      Pqchaos.Host.soak ~queue:qname
+                        ~scenario:(Pqchaos.Driver.scenario_of cfg scn)
+                        ~nprocs:cfg.Pqchaos.Driver.nprocs
+                        ~npriorities:cfg.Pqchaos.Driver.npriorities
+                        ~ops_per_proc:
+                          (cfg.Pqchaos.Driver.ops_per_proc
+                          * cfg.Pqchaos.Driver.soak)
+                        ~seed
+                    in
+                    let ok = Result.is_ok o.Pqchaos.Host.conserved in
+                    Format.fprintf ppf
+                      "%-16s %-9s seed=%-4d ins=%-6d del=%-6d left=%-5d %s@,"
+                      qname scn seed o.Pqchaos.Host.inserts
+                      o.Pqchaos.Host.deletes o.Pqchaos.Host.leftover
+                      (if ok then "conserved" else "VIOLATED");
+                    if not ok then
+                      failures :=
+                        Printf.sprintf "%s/%s seed %d: %s" qname scn seed
+                          (Result.fold ~ok:(fun () -> "") ~error:Fun.id
+                             o.Pqchaos.Host.conserved)
+                        :: !failures)
+                  seeds)
+              host_scenarios)
+          Pqchaos.Host.queues;
+        Format.fprintf ppf "@]@.";
+        List.rev !failures
+      end
+    in
+    Format.pp_print_flush ppf ();
+    print_string (Buffer.contents buf);
+    (match report with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Buffer.contents buf);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    match Pqchaos.Driver.gate cells @ host_failures with
+    | [] ->
+        Printf.printf "chaos: %d cells, worst verdict %s\n" (List.length cells)
+          (Pqchaos.Driver.verdict_label (Pqchaos.Driver.worst cells));
+        `Ok ()
+    | l -> `Error (false, String.concat "\n" l)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Soak every queue through the scenario x fault x schedule matrix \
+          under streaming invariant monitors, and classify each cell as \
+          healthy, degraded, blocked or a safety violation. Safety \
+          violations — and blockage without a crash fault — fail the \
+          command.")
+    Term.(
+      ret
+        (const run
+        $ Terms.queue ~default:"all"
+            ~doc:
+              "Queue algorithm, or $(b,all) for the paper's seven plus every \
+               MultiQueue variant."
+        $ scenarios $ plans $ scheds $ Terms.procs ~default:4
+        $ Terms.priorities ~default:16 $ ops $ seeds $ soak $ quick $ host
+        $ verbose $ report $ Terms.jobs))
+
 let lint_cmd =
   let root =
     Arg.(
@@ -671,5 +914,5 @@ let () =
           (Cmd.info "pqbench" ~doc)
           [
             list_cmd; run_cmd; bench_cmd; profile_cmd; trace_cmd; validate_cmd;
-            explore_cmd; faults_cmd; races_cmd; rank_cmd; lint_cmd;
+            explore_cmd; faults_cmd; races_cmd; rank_cmd; chaos_cmd; lint_cmd;
           ]))

@@ -1,0 +1,396 @@
+(* The chaos driver: the cross product of scenarios x fault plans x
+   schedule policies, each cell one monitored soak, classified into the
+   graceful-degradation taxonomy.
+
+   Every (queue, scenario, seed) group first runs its fault-free
+   default-schedule cell — the baseline.  Probes are passive (the
+   monitor changes no simulated result), so the baseline's cycle count
+   is valid as the degradation yardstick for the group's other cells,
+   and its watchdog budgets scale from it exactly as in Pqfault.Driver.
+
+   Verdict policy, mirroring the fault gate's philosophy:
+   - a safety violation (conservation broken, phantom elements, rank
+     above the widened bound, a failed scenario check) is always a gate
+     error;
+   - blocking under a finite fault — or under no fault at all — is a
+     gate error: every algorithm must survive a pause or a slow module;
+   - blocking under a crash fault is recorded, not gated: the paper's
+     blocking algorithms are *expected* to die when a lock holder dies;
+   - slowdown beyond [degraded_ratio] is reported as degraded-with-
+     bound, never an error. *)
+
+module Plan = Pqfault.Plan
+module Scenario = Pqbenchlib.Scenario
+
+type schedule = Default | Pct | Random
+
+let schedule_name = function
+  | Default -> "default"
+  | Pct -> "pct"
+  | Random -> "random"
+
+let schedules = [ Default; Pct; Random ]
+let schedule_names = List.map schedule_name schedules
+
+let schedule_of_string s =
+  match s with
+  | "default" -> Ok Default
+  | "pct" -> Ok Pct
+  | "random" -> Ok Random
+  | _ ->
+      Error
+        (Printf.sprintf "unknown schedule %S (%s)" s
+           (String.concat "|" schedule_names))
+
+type verdict =
+  | Healthy
+  | Degraded of { ratio : float }
+  | Blocked of string
+  | Safety_violation of string
+
+let severity = function
+  | Healthy -> 0
+  | Degraded _ -> 1
+  | Blocked _ -> 2
+  | Safety_violation _ -> 3
+
+let verdict_label = function
+  | Healthy -> "healthy"
+  | Degraded _ -> "degraded"
+  | Blocked _ -> "blocked"
+  | Safety_violation _ -> "safety-violation"
+
+let verdict_detail = function
+  | Healthy -> ""
+  | Degraded { ratio } -> Printf.sprintf "%.2fx baseline" ratio
+  | Blocked reason -> reason
+  | Safety_violation reason -> reason
+
+type cell = {
+  queue : string;
+  scenario : string;
+  plan : string;  (* "none" or a Plan.name *)
+  sched : string;
+  seed : int;
+  verdict : verdict;
+  cycles : int;
+  baseline_cycles : int;
+  ops : int;
+  empties : int;
+  worst_rank : int;
+  mean_rank : float;
+  bound : int;
+  allowance : int;
+  max_delay : int;
+  settles : int;
+  inversions : int;
+  quiescent_points : int;
+  live_high_water : int;
+  pending_high_water : int;
+  dangling : int;
+  phantoms : int;
+  trigger : string;
+}
+
+type config = {
+  queues : string list;
+  scenarios : string list;
+  plans : Plan.t option list;  (* [None] is the fault-free arm *)
+  scheds : schedule list;
+  seeds : int list;
+  nprocs : int;
+  npriorities : int;
+  ops_per_proc : int;
+  soak : int;  (* multiplies ops_per_proc and the SSSP graph size *)
+  sssp_nodes : int;
+}
+
+let default_queues =
+  Pqcore.Registry.names_paper @ Pqcore.Registry.names_relaxed
+
+let plan_names = "none" :: List.map Plan.name Plan.all
+
+let plan_of_string s =
+  if s = "none" then Ok None
+  else
+    match Plan.of_string s with
+    | Ok p -> Ok (Some p)
+    | Error _ ->
+        (* re-word the error so the fault-free arm is in the valid set *)
+        Error
+          (Printf.sprintf "unknown fault plan %S (known: %s)" s
+             (String.concat ", " (List.sort compare plan_names)))
+
+let default =
+  {
+    queues = default_queues;
+    scenarios = Scenario.names;
+    plans = None :: List.map Option.some Plan.all;
+    scheds = [ Default; Pct ];
+    seeds = [ 42; 1; 7 ];
+    nprocs = 4;
+    npriorities = 16;
+    ops_per_proc = 30;
+    soak = 1;
+    sssp_nodes = 24;
+  }
+
+let quick = { default with ops_per_proc = 12; sssp_nodes = 16 }
+
+let scenario_of cfg name =
+  if name = "sssp" then
+    Scenario.sssp ~nodes:(min 96 (cfg.sssp_nodes * cfg.soak)) ()
+  else Scenario.of_string name
+
+(* 5/4: the same degraded threshold Pqfault.Driver reports against *)
+let degraded ~baseline cycles = baseline > 0 && 4 * cycles > 5 * baseline
+
+(* idle-progress budget: generous multiples of the fault-free run, plus
+   the fault's own dead time (a pause stalls the victim outright; a slow
+   module stretches every access it serves) *)
+let watchdog_for ~plan ~baseline =
+  let extra =
+    match plan with
+    | Some (Plan.Pause_resume { pause }) -> pause
+    | Some (Plan.Slow_node { factor; _ }) -> factor * baseline
+    | _ -> 0
+  in
+  (4 * baseline) + 100_000 + extra
+
+let abort_reason = function
+  | Pqsim.Sim.Progress_failure _ -> "watchdog: no progress"
+  | Pqsim.Sim.Deadlock _ -> "deadlock"
+  | Pqsim.Sim.Cycle_limit _ -> "cycle limit"
+  | Pqsim.Sim.Spin_limit _ -> "spin limit"
+  | Failure msg -> msg
+  | e -> Printexc.to_string e
+
+(* fault verdicts dominate: a crashed/paused processor stays down no
+   matter what the exploration schedule would have preferred *)
+let compose fault sched : Pqsim.Sched.t =
+ fun info ->
+  match fault info with
+  | (Pqsim.Sched.Stall_forever | Pqsim.Sched.Pause _) as v -> v
+  | Pqsim.Sched.Run _ -> sched info
+
+let sched_policy sk ~seed ~nprocs =
+  match sk with
+  | Default -> None
+  | Pct -> Some (Pqexplore.Policy.pct ~seed ~nprocs ())
+  | Random -> Some (Pqexplore.Policy.random ~seed ())
+
+let run_cell cfg ~queue ~scn_name ~scn ~plan ~sched ~seed ~baseline =
+  let nprocs = cfg.nprocs in
+  let armed = Option.map (fun p -> Plan.arm p ~seed ~nprocs) plan in
+  let policy =
+    match (armed, sched_policy sched ~seed ~nprocs) with
+    | None, None -> None
+    | Some a, None -> Some a.Plan.policy
+    | None, Some s -> Some s
+    | Some a, Some s -> Some (compose a.Plan.policy s)
+  in
+  let watchdog =
+    match baseline with
+    | Some b -> Some (watchdog_for ~plan ~baseline:b)
+    | None -> None (* the baseline cell itself: fault-free, terminating *)
+  in
+  let monitor =
+    Monitor.create
+      ~npriorities:(Scenario.npriorities_for scn ~default:cfg.npriorities)
+      ~nprocs
+  in
+  let probe = Pqsim.Probe.make ~notes:(Monitor.notes monitor) () in
+  let degrade =
+    match plan with Some p -> Plan.degrade p | None -> fun _ -> ()
+  in
+  let o =
+    Scenario.run_sim ~probe ?policy ?watchdog ~track:false ~degrade ~queue
+      ~nprocs ~npriorities:cfg.npriorities
+      ~ops_per_proc:(cfg.ops_per_proc * cfg.soak)
+      ~seed scn
+  in
+  (* one crash-interrupted op can strand its whole in-hand batch: 1
+     element, plus anything the queue stages in per-op buffers *)
+  let slack_per_dangling =
+    match Pqcore.Multi_queue.config_of_name queue with
+    | Some cfg ->
+        1 + cfg.Pqrelaxed.Multiqueue.ins_buf + cfg.Pqrelaxed.Multiqueue.del_buf
+    | None -> 1
+  in
+  let m = Monitor.finalize ~slack_per_dangling monitor ~leftover:o.leftover in
+  let allowance = m.dangling in
+  let base_bound =
+    match Pqcore.Multi_queue.rank_bound_for queue ~nprocs with
+    | Some b -> b
+    | None -> 0
+  in
+  let bound = base_bound + allowance in
+  let baseline_cycles = match baseline with Some b -> b | None -> o.cycles in
+  let verdict =
+    match o.aborted with
+    | Some e -> Blocked (abort_reason e)
+    | None -> (
+        let safety =
+          match o.check with
+          | Error msg -> Some msg
+          | Ok () -> (
+              match m.conservation with
+              | Error msg -> Some msg
+              | Ok () ->
+                  if m.rank.max_rank > bound then
+                    Some
+                      (Printf.sprintf "rank error %d exceeds bound %d"
+                         m.rank.max_rank bound)
+                  else None)
+        in
+        match safety with
+        | Some msg -> Safety_violation msg
+        | None ->
+            if degraded ~baseline:baseline_cycles o.cycles then
+              Degraded
+                { ratio = float_of_int o.cycles /. float_of_int baseline_cycles }
+            else Healthy)
+  in
+  {
+    queue;
+    scenario = scn_name;
+    plan = (match plan with Some p -> Plan.name p | None -> "none");
+    sched = schedule_name sched;
+    seed;
+    verdict;
+    cycles = o.cycles;
+    baseline_cycles;
+    ops = m.inserts + m.rejects + m.rank.deletes + m.rank.empties;
+    empties = m.rank.empties;
+    worst_rank = m.rank.max_rank;
+    mean_rank = m.rank.mean_rank;
+    bound;
+    allowance;
+    max_delay = m.rank.max_delay;
+    settles = m.settles;
+    inversions = m.inversions;
+    quiescent_points = m.quiescent_points;
+    live_high_water = m.live_high_water;
+    pending_high_water = m.pending_high_water;
+    dangling = m.dangling;
+    phantoms = m.phantoms;
+    trigger = (match armed with Some a -> a.Plan.trigger | None -> "-");
+  }
+
+(* one (queue, scenario, seed) group: baseline first, then every other
+   (plan, sched) cell against its cycle count.  A stuck baseline means
+   the fault-free run itself is broken; the group's remaining cells are
+   marked blocked rather than run without a degradation yardstick. *)
+let run_group cfg (queue, scn_name, seed) =
+  let scn = scenario_of cfg scn_name in
+  let base =
+    run_cell cfg ~queue ~scn_name ~scn ~plan:None ~sched:Default ~seed
+      ~baseline:None
+  in
+  let rest = ref [] in
+  List.iter
+    (fun plan ->
+      List.iter
+        (fun sched ->
+          if not (plan = None && sched = Default) then
+            let cell =
+              if base.verdict = Healthy then
+                run_cell cfg ~queue ~scn_name ~scn ~plan ~sched ~seed
+                  ~baseline:(Some base.cycles)
+              else
+                {
+                  base with
+                  plan = (match plan with Some p -> Plan.name p | None -> "none");
+                  sched = schedule_name sched;
+                  verdict = Blocked "baseline cell unhealthy";
+                  cycles = 0;
+                  trigger = "-";
+                }
+            in
+            rest := cell :: !rest)
+        cfg.scheds)
+    cfg.plans;
+  base :: List.rev !rest
+
+let run ?(jobs = 1) cfg =
+  let groups =
+    List.concat_map
+      (fun queue ->
+        List.concat_map
+          (fun scn -> List.map (fun seed -> (queue, scn, seed)) cfg.seeds)
+          cfg.scenarios)
+      cfg.queues
+  in
+  List.concat (Pqbenchlib.Pool.map ~jobs (run_group cfg) groups)
+
+let plan_is_finite = function
+  | "none" -> true
+  | s -> ( match Plan.of_string s with Ok p -> Plan.finite p | Error _ -> true)
+
+(* gate errors: safety violations anywhere; blockage wherever survival
+   is required (no fault, or a finite fault) *)
+let gate cells =
+  List.filter_map
+    (fun c ->
+      let where =
+        Printf.sprintf "%s/%s/%s/%s seed %d" c.queue c.scenario c.plan c.sched
+          c.seed
+      in
+      match c.verdict with
+      | Safety_violation msg -> Some (where ^ ": SAFETY: " ^ msg)
+      | Blocked reason when plan_is_finite c.plan ->
+          Some (where ^ ": blocked: " ^ reason)
+      | Blocked _ | Degraded _ | Healthy -> None)
+    cells
+
+let worst cells =
+  List.fold_left
+    (fun acc c -> if severity c.verdict > severity acc then c.verdict else acc)
+    Healthy cells
+
+(* scenario x plan -> worst verdict label across queues, seeds and
+   schedules: the EXPERIMENTS.md degradation matrix *)
+let summary_matrix cells =
+  let scenarios =
+    List.sort_uniq compare (List.map (fun c -> c.scenario) cells)
+  in
+  let plans = List.sort_uniq compare (List.map (fun c -> c.plan) cells) in
+  List.map
+    (fun scn ->
+      ( scn,
+        List.map
+          (fun plan ->
+            let sub =
+              List.filter (fun c -> c.scenario = scn && c.plan = plan) cells
+            in
+            (plan, verdict_label (worst sub)))
+          plans ))
+    scenarios
+
+let pp_cells ppf cells =
+  Format.fprintf ppf
+    "%-16s %-9s %-10s %-8s %5s  %-16s %9s %6s %5s %5s %5s %4s  %s@."
+    "queue" "scenario" "plan" "sched" "seed" "verdict" "cycles" "ops"
+    "rank" "bound" "liveh" "dang" "detail";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf
+        "%-16s %-9s %-10s %-8s %5d  %-16s %9d %6d %5d %5d %5d %4d  %s@."
+        c.queue c.scenario c.plan c.sched c.seed
+        (verdict_label c.verdict)
+        c.cycles c.ops c.worst_rank c.bound c.live_high_water c.dangling
+        (verdict_detail c.verdict))
+    cells
+
+let pp_summary ppf cells =
+  let matrix = summary_matrix cells in
+  let plans = List.sort_uniq compare (List.map (fun c -> c.plan) cells) in
+  Format.fprintf ppf "%-10s" "scenario";
+  List.iter (fun p -> Format.fprintf ppf " %-16s" p) plans;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (scn, row) ->
+      Format.fprintf ppf "%-10s" scn;
+      List.iter (fun (_, v) -> Format.fprintf ppf " %-16s" v) row;
+      Format.fprintf ppf "@.")
+    matrix

@@ -1,0 +1,108 @@
+(** The chaos driver: scenarios x fault plans x schedule policies, each
+    cell one monitored soak, classified into the graceful-degradation
+    taxonomy.
+
+    Each (queue, scenario, seed) group runs its fault-free
+    default-schedule baseline first; probes are passive, so the
+    baseline's cycle count is the degradation yardstick and watchdog
+    scale for the group's other cells.  The {!gate} mirrors
+    [Pqfault.Driver]: safety violations always gate; blockage gates
+    only where survival is required (no fault, or a finite one) —
+    blocking algorithms dying under a crash is recorded, expected. *)
+
+type schedule = Default | Pct | Random
+
+val schedule_name : schedule -> string
+val schedule_names : string list
+val schedule_of_string : string -> (schedule, string) result
+
+(** the graceful-degradation taxonomy, ordered by {!severity} *)
+type verdict =
+  | Healthy  (** completed, all invariants hold, within the time budget *)
+  | Degraded of { ratio : float }
+      (** completed safely but beyond 1.25x the baseline cycle count *)
+  | Blocked of string
+      (** the run aborted (watchdog, deadlock, limits); acceptable only
+          under a crash fault *)
+  | Safety_violation of string
+      (** conservation broken, phantom elements, rank error above the
+          (dangling-widened) bound, or a failed scenario check — never
+          acceptable *)
+
+val severity : verdict -> int
+val verdict_label : verdict -> string
+val verdict_detail : verdict -> string
+
+type cell = {
+  queue : string;
+  scenario : string;
+  plan : string;  (** "none" or a [Pqfault.Plan.name] *)
+  sched : string;
+  seed : int;
+  verdict : verdict;
+  cycles : int;
+  baseline_cycles : int;
+  ops : int;
+  empties : int;
+  worst_rank : int;
+  mean_rank : float;
+  bound : int;  (** rank bound after dangling widening (0 for strict) *)
+  allowance : int;  (** the dangling widening applied to [bound] *)
+  max_delay : int;
+  settles : int;
+  inversions : int;
+  quiescent_points : int;
+  live_high_water : int;
+  pending_high_water : int;
+  dangling : int;
+  phantoms : int;
+  trigger : string;
+}
+
+type config = {
+  queues : string list;
+  scenarios : string list;
+  plans : Pqfault.Plan.t option list;  (** [None] is the fault-free arm *)
+  scheds : schedule list;
+  seeds : int list;
+  nprocs : int;
+  npriorities : int;
+  ops_per_proc : int;
+  soak : int;  (** multiplies [ops_per_proc] and the SSSP graph size *)
+  sssp_nodes : int;
+}
+
+val default_queues : string list
+(** all registry queues: the paper's seven plus the relaxed family *)
+
+val plan_names : string list
+(** ["none"] plus every [Pqfault.Plan.name] *)
+
+val plan_of_string : string -> (Pqfault.Plan.t option, string) result
+(** accepts ["none"]; otherwise defers to [Pqfault.Plan.of_string] *)
+
+val default : config
+val quick : config
+
+val scenario_of : config -> string -> Pqbenchlib.Scenario.t
+(** resolve a scenario name, applying the soak-scaled SSSP sizing.
+    @raise Invalid_argument on an unknown name *)
+
+val watchdog_for : plan:Pqfault.Plan.t option -> baseline:int -> int
+
+val run : ?jobs:int -> config -> cell list
+(** the full cross product, domain-parallel over (queue, scenario,
+    seed) groups; output order and content are independent of [jobs] *)
+
+val gate : cell list -> string list
+(** gate errors (empty means pass): every safety violation, plus every
+    blockage under no fault or a finite fault *)
+
+val worst : cell list -> verdict
+
+val summary_matrix : cell list -> (string * (string * string) list) list
+(** scenario -> (plan -> worst verdict label) across queues, seeds and
+    schedules *)
+
+val pp_cells : Format.formatter -> cell list -> unit
+val pp_summary : Format.formatter -> cell list -> unit

@@ -33,14 +33,15 @@ let describe = function
   | Slow_node { node; factor } ->
       Printf.sprintf "serve memory module %d %dx slower" node factor
 
-let of_string = function
-  | "crash-one" -> Ok Crash_random
-  | "crash-lock" -> Ok Crash_lock_holder
-  | "pause" -> Ok (Pause_resume { pause = default_pause })
-  | "slow-node" -> Ok (Slow_node { node = 0; factor = default_slow_factor })
-  | s ->
+let names = List.sort compare (List.map name all)
+
+let of_string s =
+  match List.find_opt (fun p -> name p = s) all with
+  | Some p -> Ok p
+  | None ->
       Error
-        (Printf.sprintf "unknown fault plan %S (crash-one|crash-lock|pause|slow-node)" s)
+        (Printf.sprintf "unknown fault plan %S (known: %s)" s
+           (String.concat ", " names))
 
 (* a plan is finite when every injected fault ends by itself: a run that
    fails to terminate under one is an engine or algorithm bug, never an

@@ -29,7 +29,13 @@ val name : t -> string
 (** short stable identifier: crash-one, crash-lock, pause, slow-node. *)
 
 val describe : t -> string
+
+val names : string list
+(** sorted names of {!all}; the valid input set of {!of_string} *)
+
 val of_string : string -> (t, string) result
+(** resolves a {!name}; unknown names report the sorted valid set,
+    mirroring [Pqcore.Registry] *)
 
 val finite : t -> bool
 (** a finite plan's fault ends by itself; failing to terminate under one

@@ -1,4 +1,5 @@
-(** Bounded retry with exponential backoff for host-side CAS loops.
+(** Bounded retry with decorrelated-jitter exponential backoff for
+    host-side CAS loops.
 
     Every optimistic loop in this library creates one [t] per operation
     and calls {!once} before each retry: failed attempts back off
@@ -6,7 +7,14 @@
     hammering the line, and a configured attempt budget turns a loop
     that cannot win — a livelock, or a peer stalled at just the wrong
     time — into a diagnosable {!Gave_up} instead of a silent hang.  The
-    default budget is effectively unbounded. *)
+    default budget is effectively unbounded.
+
+    Waits are {e jittered}: each is drawn uniformly from
+    [\[base, 3 * previous\]] (capped), per-operation splitmix64 streams
+    seeded so no two operations share a sequence.  Deterministic
+    doubling would keep the losers of one collision in lockstep,
+    re-colliding on every later attempt; decorrelated jitter spreads
+    them while the expected wait still grows geometrically. *)
 
 exception Gave_up of { op : string; attempts : int }
 
@@ -18,6 +26,11 @@ val start : ?max_attempts:int -> string -> t
 
 val once : t -> unit
 (** record a failed attempt: raise {!Gave_up} past the budget, otherwise
-    spin briefly (exponentially longer each time, capped). *)
+    spin briefly (jittered, exponentially longer in expectation,
+    capped). *)
 
 val attempts : t -> int
+
+val spin : t -> int
+(** the wait (in [cpu_relax] rounds) the next failed attempt will spin:
+    observable backoff state for statistical tests *)

@@ -22,6 +22,7 @@ let await addr ~until =
 let probing () = Probe.active ()
 let count key v = if probing () then Effect.perform (Sim.Count (key, v))
 let mark name arg = if probing () then Effect.perform (Sim.Mark (name, arg))
+let note tag a b = if probing () then Effect.perform (Sim.Note (tag, a, b))
 
 let timed key f =
   let t0 = now () in

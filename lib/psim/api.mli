@@ -55,6 +55,12 @@ val mark : string -> int -> unit
 (** [mark name arg] drops an instant annotation into the probe's event
     trace; free when {!probing} is false. *)
 
+val note : int -> int -> int -> unit
+(** [note tag a b] delivers an all-integer annotation to the probe's
+    [notes] receiver ({!Probe.note}); free when {!probing} is false.
+    The streaming channel for online invariant monitors: no strings,
+    no allocation, folded into monitor state as it arrives. *)
+
 val timed : string -> (unit -> 'a) -> 'a
 (** [timed key f] runs [f] and records its latency in cycles under
     [key].  Under a probe, additionally emits a completed span event. *)

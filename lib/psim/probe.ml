@@ -19,9 +19,11 @@ type ev =
 
 type sink = { emit : proc:int -> time:int -> ev -> unit }
 
-type t = { sink : sink option; metrics : Stats.t option }
+type note = { note : proc:int -> time:int -> tag:int -> a:int -> b:int -> unit }
 
-let make ?sink ?metrics () = { sink; metrics }
+type t = { sink : sink option; metrics : Stats.t option; notes : note option }
+
+let make ?sink ?metrics ?notes () = { sink; metrics; notes }
 
 (* True while a probed Sim.run is executing.  Library code guards its
    instrumentation effects on this flag, so unprobed runs perform no

@@ -38,12 +38,28 @@ type ev =
 
 type sink = { emit : proc:int -> time:int -> ev -> unit }
 
-type t = { sink : sink option; metrics : Stats.t option }
+type note = { note : proc:int -> time:int -> tag:int -> a:int -> b:int -> unit }
+(** Receiver for the all-integer annotation channel ({!Api.note}): a
+    [tag] naming the kind of annotation plus two operands, stamped with
+    the noting processor and its local cycle count.  Unlike [sink],
+    which carries strings and per-event records meant for offline trace
+    files, notes are built for {e online} consumers — streaming
+    invariant monitors that fold each note into O(1) state as it
+    arrives — so the channel allocates nothing per event.  Notes from
+    one processor arrive in its program order; across processors they
+    arrive in engine dispatch order (nondecreasing simulated time). *)
+
+type t = {
+  sink : sink option;
+  metrics : Stats.t option;
+  notes : note option;
+}
 (** [sink] receives the event stream; [metrics] receives the named
     counters/histograms recorded via {!Api.count} and by the engine
-    (CAS outcome counts).  Either may be absent. *)
+    (CAS outcome counts); [notes] receives the integer annotation
+    stream ({!Api.note}).  Any may be absent. *)
 
-val make : ?sink:sink -> ?metrics:Stats.t -> unit -> t
+val make : ?sink:sink -> ?metrics:Stats.t -> ?notes:note -> unit -> t
 
 val active : unit -> bool
 (** True while a probed {!Sim.run} is executing in the calling domain;

@@ -15,6 +15,7 @@ type _ Effect.t +=
   | Count : (string * int) -> unit Effect.t
   | Mark : (string * int) -> unit Effect.t
   | Span : (string * int) -> unit Effect.t
+  | Note : (int * int * int) -> unit Effect.t
 
 exception Deadlock of string
 exception Cycle_limit of int
@@ -85,6 +86,7 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo) ?probe
   let shared = setup mem in
   let sink = match probe with Some p -> p.Probe.sink | None -> None in
   let metrics = match probe with Some p -> p.Probe.metrics | None -> None in
+  let notes = match probe with Some p -> p.Probe.notes | None -> None in
   (* probe emission is strictly passive: no simulated cycles, no RNG
      draws, no engine events — a probed run is bit-identical to the same
      run without the probe *)
@@ -345,6 +347,13 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo) ?probe
               | Some s ->
                   s.Probe.emit ~proc:pid ~time:ptime.(pid)
                     (Probe.Span { name; start })
+              | None -> ());
+              continue k ())
+      | Note (tag, a, b) ->
+          Some
+            (fun k ->
+              (match notes with
+              | Some n -> n.Probe.note ~proc:pid ~time:ptime.(pid) ~tag ~a ~b
               | None -> ());
               continue k ())
       | _ -> None

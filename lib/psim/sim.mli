@@ -38,6 +38,12 @@ type _ Effect.t +=
       (** instant trace annotation (name, argument) at the current cycle *)
   | Span : (string * int) -> unit Effect.t
       (** completed interval (name, start cycle) ending now *)
+  | Note : (int * int * int) -> unit Effect.t
+      (** all-integer annotation (tag, a, b) delivered to the attached
+          probe's [notes] receiver; dropped when the run carries none.
+          The allocation-free channel streaming invariant monitors
+          consume.  Perform via {!Api.note}, which guards on
+          {!Api.probing}. *)
 
 exception Deadlock of string
 (** raised when runnable processors remain but no event is pending and no

@@ -47,6 +47,30 @@ type rank = {
   queues : rank_queue list;
 }
 
+let chaos_verdicts = [ "healthy"; "degraded"; "blocked"; "safety-violation" ]
+
+type chaos_cell = {
+  cc_queue : string;
+  cc_scenario : string;
+  cc_plan : string;
+  cc_sched : string;
+  cc_seed : int;
+  cc_verdict : string;
+  cc_cycles : int;
+  cc_ops : int;
+  cc_worst_rank : int;
+  cc_bound : int;
+  cc_dangling : int;
+}
+
+type chaos = {
+  chaos_nprocs : int;
+  chaos_npriorities : int;
+  chaos_ops_per_proc : int;
+  chaos_safe : bool;
+  cells : chaos_cell list;
+}
+
 type t = {
   paper : string;
   seed : int;
@@ -54,12 +78,13 @@ type t = {
   figures : figure list;
   metrics : (string * Json.t) list; (* free-form extras, e.g. per-queue derived metrics *)
   rank : rank option; (* rank-error verification results (pqbench rank) *)
+  chaos : chaos option; (* chaos-matrix verdicts (pqbench chaos) *)
   harness : harness option; (* wall-clock measurements: the one run-dependent section *)
 }
 
-let make ?(paper = "shavit-zemach-podc99") ?(metrics = []) ?rank ?harness ~seed
-    ~scale figures =
-  { paper; seed; scale; figures; metrics; rank; harness }
+let make ?(paper = "shavit-zemach-podc99") ?(metrics = []) ?rank ?chaos ?harness
+    ~seed ~scale figures =
+  { paper; seed; scale; figures; metrics; rank; chaos; harness }
 
 let series_to_json s =
   Json.Obj
@@ -138,6 +163,32 @@ let rank_to_json r =
       ("queues", Json.List (List.map rank_queue_to_json r.queues));
     ]
 
+let chaos_cell_to_json c =
+  Json.Obj
+    [
+      ("queue", Json.String c.cc_queue);
+      ("scenario", Json.String c.cc_scenario);
+      ("plan", Json.String c.cc_plan);
+      ("sched", Json.String c.cc_sched);
+      ("seed", Json.Int c.cc_seed);
+      ("verdict", Json.String c.cc_verdict);
+      ("cycles", Json.Int c.cc_cycles);
+      ("ops", Json.Int c.cc_ops);
+      ("worst_rank", Json.Int c.cc_worst_rank);
+      ("bound", Json.Int c.cc_bound);
+      ("dangling", Json.Int c.cc_dangling);
+    ]
+
+let chaos_to_json c =
+  Json.Obj
+    [
+      ("nprocs", Json.Int c.chaos_nprocs);
+      ("npriorities", Json.Int c.chaos_npriorities);
+      ("ops_per_proc", Json.Int c.chaos_ops_per_proc);
+      ("safe", Json.Bool c.chaos_safe);
+      ("cells", Json.List (List.map chaos_cell_to_json c.cells));
+    ]
+
 let to_json t =
   Json.Obj
     ([
@@ -150,6 +201,9 @@ let to_json t =
     @ (if t.metrics = [] then [] else [ ("metrics", Json.Obj t.metrics) ])
     @ (match t.rank with
       | Some r -> [ ("rank", rank_to_json r) ]
+      | None -> [])
+    @ (match t.chaos with
+      | Some c -> [ ("chaos", chaos_to_json c) ]
       | None -> [])
     @
     match t.harness with
@@ -278,6 +332,51 @@ let validate_rank_queue ctx j =
       Error (ctx ^ ": pass flag contradicts worst_rank vs bound")
     else Ok ()
 
+let validate_chaos_cell ctx j =
+  let* queue = v_string ctx "queue" j in
+  let* scenario = v_string ctx "scenario" j in
+  let ctx = Printf.sprintf "%s(%s/%s)" ctx queue scenario in
+  let* _ = v_string ctx "plan" j in
+  let* _ = v_string ctx "sched" j in
+  let* _ = v_int ctx "seed" j in
+  let* verdict = v_string ctx "verdict" j in
+  if not (List.mem verdict chaos_verdicts) then
+    Error
+      (Printf.sprintf "%s: verdict %S not one of %s" ctx verdict
+         (String.concat ", " chaos_verdicts))
+  else
+    let* _ = v_int ctx "cycles" j in
+    let* _ = v_int ctx "ops" j in
+    let* worst = v_int ctx "worst_rank" j in
+    let* bound = v_int ctx "bound" j in
+    let* _ = v_int ctx "dangling" j in
+    (* a cell that passed as healthy or merely degraded must actually be
+       inside its recorded bound *)
+    if (verdict = "healthy" || verdict = "degraded") && worst > bound then
+      Error (ctx ^ ": non-violating verdict contradicts worst_rank vs bound")
+    else Ok ()
+
+let validate_chaos ctx j =
+  let* nprocs = v_int ctx "nprocs" j in
+  if nprocs < 1 then Error (ctx ^ ": nprocs must be >= 1")
+  else
+    let* _ = v_int ctx "npriorities" j in
+    let* _ = v_int ctx "ops_per_proc" j in
+    let* safe = v_bool ctx "safe" j in
+    let* cells = v_list ctx "cells" j in
+    if cells = [] then Error (ctx ^ ": empty cells list")
+    else
+      let* () = all (ctx ^ ".cells") validate_chaos_cell 0 cells in
+      let violated =
+        List.exists
+          (fun c ->
+            Option.bind (Json.member "verdict" c) Json.to_str
+            = Some "safety-violation")
+          cells
+      in
+      if safe = not violated then Ok ()
+      else Error (ctx ^ ": safe flag contradicts the recorded verdicts")
+
 let validate_rank ctx j =
   let* nprocs = v_int ctx "nprocs" j in
   if nprocs < 1 then Error (ctx ^ ": nprocs must be >= 1")
@@ -307,6 +406,11 @@ let validate j =
         match Json.member "rank" j with
         | None -> Ok ()
         | Some r -> validate_rank (ctx ^ ".rank") r
+      in
+      let* () =
+        match Json.member "chaos" j with
+        | None -> Ok ()
+        | Some c -> validate_chaos (ctx ^ ".chaos") c
       in
       (match Json.member "harness" j with
       | None -> Ok ()

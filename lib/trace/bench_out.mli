@@ -69,6 +69,35 @@ type rank = {
 (** the rank-error verification section: deterministic per seed, so it
     participates in byte-stability comparisons (unlike [harness]) *)
 
+val chaos_verdicts : string list
+(** the verdict taxonomy as stable strings: healthy, degraded, blocked,
+    safety-violation *)
+
+type chaos_cell = {
+  cc_queue : string;
+  cc_scenario : string;
+  cc_plan : string;  (** "none" or a fault-plan name *)
+  cc_sched : string;
+  cc_seed : int;
+  cc_verdict : string;  (** one of {!chaos_verdicts} *)
+  cc_cycles : int;
+  cc_ops : int;
+  cc_worst_rank : int;
+  cc_bound : int;  (** rank bound after dangling widening; 0 for strict *)
+  cc_dangling : int;
+}
+(** one (queue, scenario, plan, sched, seed) soak of the chaos matrix *)
+
+type chaos = {
+  chaos_nprocs : int;
+  chaos_npriorities : int;
+  chaos_ops_per_proc : int;
+  chaos_safe : bool;  (** no cell carries a safety-violation verdict *)
+  cells : chaos_cell list;
+}
+(** the chaos-matrix section (pqbench chaos): deterministic per seed,
+    so it participates in byte-stability comparisons *)
+
 type t = {
   paper : string;
   seed : int;
@@ -76,6 +105,7 @@ type t = {
   figures : figure list;
   metrics : (string * Json.t) list;  (** free-form extras *)
   rank : rank option;
+  chaos : chaos option;
   harness : harness option;
 }
 
@@ -83,6 +113,7 @@ val make :
   ?paper:string ->
   ?metrics:(string * Json.t) list ->
   ?rank:rank ->
+  ?chaos:chaos ->
   ?harness:harness ->
   seed:int ->
   scale:string ->
@@ -97,8 +128,11 @@ val validate : Json.t -> (unit, string) result
     non-empty figures, each with non-empty series of (x:int, y:number)
     points; an optional [rank] section (non-empty queues each with
     non-empty runs, strict queues bound to 0, pass flags consistent
-    with the recorded numbers); an optional [harness] section with
-    jobs/wall_s/experiments; rejects other [schema_version]s *)
+    with the recorded numbers); an optional [chaos] section (non-empty
+    cells, verdicts drawn from {!chaos_verdicts}, non-violating cells
+    inside their recorded bound, safe flag consistent with the cells);
+    an optional [harness] section with jobs/wall_s/experiments; rejects
+    other [schema_version]s *)
 
 val validate_string : string -> (unit, string) result
 (** parse + validate *)

@@ -1,0 +1,32 @@
+(** Seeded random weighted graphs for the SSSP scenario, plus a
+    host-side Dijkstra reference oracle.
+
+    Generation is deterministic per seed and connected by construction:
+    a random recursive tree is laid down first (node [v] attaches to a
+    uniform earlier node), then extra edges densify the graph toward
+    the requested average degree.  All weights are in
+    [1 .. max_weight] — strictly positive, as Dijkstra requires. *)
+
+type t
+
+val generate :
+  ?degree:int -> ?max_weight:int -> seed:int -> nodes:int -> unit -> t
+(** [generate ~seed ~nodes ()] builds an undirected connected graph.
+    [degree] (default 3) is the target average degree; [max_weight]
+    (default 8) the inclusive weight cap. *)
+
+val nodes : t -> int
+val nedges : t -> int
+val max_weight : t -> int
+
+val edges : t -> int -> (int * int) array
+(** [(neighbour, weight)] pairs of a node *)
+
+val max_path_length : t -> int
+(** [(nodes - 1) * max_weight]: an inclusive upper bound on any simple
+    path length, hence on every distance the SSSP scenario can insert —
+    sizes the bounded priority range a queue needs. *)
+
+val dijkstra : t -> src:int -> int array
+(** reference shortest distances from [src] (host-side, sequential);
+    connected generation means no entry is ever [max_int] *)

@@ -1,0 +1,172 @@
+(** The scenario algebra: composable, phase-structured workloads beyond
+    the paper's single coin-flip benchmark.
+
+    A scenario is either {e phased} — each processor runs a per-role
+    list of phases (coin-flip mixes, Zipf-skewed produce bursts, drain
+    storms, the DES hold model) over any registry queue — or the
+    {e SSSP} scenario, a concurrent Dijkstra over a seeded generated
+    graph whose safety condition is equality with the sequential
+    reference distances.  Everything is deterministic per seed: phase
+    interpretation draws only from the per-processor engine streams,
+    and graph/skew tables are seeded precomputations.
+
+    Phased scenarios run both on the simulator ({!run_sim}) and on host
+    queues ({!run_phases} with host-provided {!ctx}/{!ops}); SSSP needs
+    simulated shared memory and is {!sim_only}.
+
+    Under a probe, every queue access additionally streams an
+    all-integer {!Pqsim.Api.note} record ({!Tag}) that the {!Pqchaos}
+    streaming monitors fold online — no trace buffering. *)
+
+(** Tags of the op-note protocol emitted by {!run_sim}'s instrumented
+    queue wrapper (and consumed by [Pqchaos.Monitor]).  Invocation
+    notes carry the arguments; response notes the results; [settle]
+    is SSSP-specific (node, distance at which it was settled). *)
+module Tag : sig
+  val ins_invoke : int  (** a = priority, b = payload *)
+
+  val ins_ok : int  (** a = priority, b = payload *)
+
+  val ins_reject : int  (** capacity rejection; a = priority, b = payload *)
+
+  val del_invoke : int
+  val del_some : int  (** a = priority, b = payload *)
+
+  val del_none : int
+  val settle : int  (** a = node, b = settled distance *)
+end
+
+(** One phase of a processor's life. *)
+type phase =
+  | Mixed of { ops : int; bias : int }
+      (** coin-flip accesses, [bias]% inserts at uniform priorities *)
+  | Produce of { ops : int; skew : float }
+      (** pure inserts, priorities Zipf-distributed with exponent [skew] *)
+  | Drain of { ops : int }  (** pure delete_min storm *)
+  | Hold of { ops : int; lag : int }
+      (** DES hold model: delete_min, reinsert at popped priority plus a
+          random lag in [1, lag] (mod the priority range); an empty pop
+          repopulates at a uniform priority *)
+  | Idle of { cycles : int }  (** local work only *)
+
+type role = nprocs:int -> pid:int -> ops_per_proc:int -> phase list
+(** a scenario's phase list for one processor *)
+
+type t
+
+val name : t -> string
+val descr : t -> string
+
+val sim_only : t -> bool
+(** true for SSSP, which needs simulated shared memory *)
+
+val coinflip : t
+(** the paper's benchmark as a scenario (baseline cell) *)
+
+val hold : t
+(** the DES hold model, prefilled *)
+
+val burst : t
+(** Zipf producers vs delete-heavy consumers, ending in a drain storm *)
+
+val sssp : ?nodes:int -> ?degree:int -> ?max_weight:int -> unit -> t
+(** concurrent Dijkstra (defaults: 24 nodes, degree 3, weights 1-8) *)
+
+val all : t list
+(** [coinflip; hold; burst; sssp ()] *)
+
+val names : string list
+(** sorted names of {!all} *)
+
+val of_string : string -> t
+(** @raise Invalid_argument naming the valid set, mirroring
+    {!Pqcore.Registry} *)
+
+(** {2 Sizing} *)
+
+val npriorities_for : t -> default:int -> int
+(** the effective priority range: [default] for phased scenarios; for
+    SSSP, the bound on any insertable distance *)
+
+val capacity_for : t -> nprocs:int -> ops_per_proc:int -> int
+val ops_bound_for : t -> nprocs:int -> ops_per_proc:int -> int
+
+val total_ops : t -> nprocs:int -> ops_per_proc:int -> int
+(** approximate total queue accesses, for watchdog/baseline scaling *)
+
+val params_of :
+  t ->
+  nprocs:int ->
+  npriorities:int ->
+  ops_per_proc:int ->
+  seed:int ->
+  Pqcore.Pq_intf.params
+
+(** {2 The generic interpreter} *)
+
+type ops = {
+  insert : pri:int -> payload:int -> bool;
+  delete_min : unit -> (int * int) option;
+}
+(** the queue face a phase interpretation drives; on the simulator this
+    wraps a registry queue, on the host a hostpq queue or a model *)
+
+type ctx = {
+  pid : int;
+  nprocs : int;
+  npriorities : int;
+  rand : int -> int;  (** uniform in [0, n-1], deterministic per seed *)
+  work : int -> unit;  (** local computation (no-op on host models) *)
+}
+
+val run_phases : ?local_work:int -> ctx -> ops -> seq:int ref -> phase list -> unit
+(** interpret a phase list; [seq] numbers this processor's inserts so
+    payloads ([pid + nprocs * seq]) are unique across the run *)
+
+val phases_of : t -> nprocs:int -> pid:int -> ops_per_proc:int -> phase list
+(** @raise Invalid_argument on a non-phased scenario *)
+
+val prefill_per_proc : t -> int
+
+(** {2 Simulator runner} *)
+
+type outcome = {
+  cycles : int;  (** 0 when [aborted] *)
+  inserts : int;  (** accepted inserts (host-side count) *)
+  deletes : int;
+  empty_deletes : int;
+  rejects : int;
+  leftover : (int * int) list;  (** drained after the run (even aborted) *)
+  faulted : int list;  (** crash-stopped processors ([] when aborted) *)
+  aborted : exn option;
+      (** the engine exception (deadlock, watchdog, spin/cycle limit)
+          that ended the run early, if any *)
+  check : (unit, string) result;
+      (** structural invariants + (when [track] and fault-free) multiset
+          conservation + (SSSP) reference-distance equality; [Ok ()]
+          when [aborted] — the caller judges aborts *)
+  npriorities : int;  (** effective range after the scenario override *)
+}
+
+val run_sim :
+  ?probe:Pqsim.Probe.t ->
+  ?policy:Pqsim.Sched.t ->
+  ?watchdog:int ->
+  ?machine:Pqsim.Machine.t ->
+  ?track:bool ->
+  ?degrade:(Pqsim.Mem.t -> unit) ->
+  ?local_work:int ->
+  queue:string ->
+  nprocs:int ->
+  npriorities:int ->
+  ops_per_proc:int ->
+  seed:int ->
+  t ->
+  outcome
+(** [run_sim ~queue ... t] runs scenario [t] on a registry queue.
+    [track] (default true) keeps host-side per-element multisets for
+    the exact conservation check; soak runs pass [~track:false] and
+    rely on the streaming monitors, keeping host memory bounded by the
+    live-element count.  Engine abort exceptions are caught and
+    returned in [aborted] with the queue drained regardless, mirroring
+    {!Pqfault.Driver}. *)

@@ -1,0 +1,25 @@
+(** Zipf-distributed rank sampler for skewed-priority workloads.
+
+    [P(rank = k) ∝ 1/(k+1)^s] over ranks [0 .. n-1]: rank 0 is the most
+    popular.  The sampler carries no randomness of its own — each draw
+    consumes one uniform variate from a caller-supplied source (a
+    simulated processor's private stream via {!Pqsim.Api.rand}, or a
+    host RNG), so scenario runs stay deterministic per engine seed. *)
+
+type t
+
+val make : n:int -> s:float -> t
+(** [make ~n ~s] precomputes the cumulative distribution over [n] ranks
+    with skew exponent [s] ([s = 0] is uniform; [s ≈ 1] is classic
+    Zipf).  O(n) floats, built once per phase. *)
+
+val n : t -> int
+
+val sample : t -> draw:(int -> int) -> int
+(** [sample t ~draw] returns a rank in [0, n-1]; [draw m] must return a
+    uniform integer in [0, m-1].  One draw per sample; inverse-CDF by
+    binary search, O(log n). *)
+
+val pmf : t -> int -> float
+(** exact probability of a rank under the discretised distribution,
+    for statistical tests *)

@@ -179,6 +179,31 @@ let test_plan_names_roundtrip () =
   check_bool "unknown plan rejected" true
     (Result.is_error (Plan.of_string "meteor-strike"))
 
+let test_plan_unknown_error_names_valid_set () =
+  (* mirror Registry: the error must list every valid arm, sorted *)
+  Alcotest.(check (list string))
+    "names are sorted"
+    (List.sort compare (List.map Plan.name Plan.all))
+    Plan.names;
+  match Plan.of_string "meteor-strike" with
+  | Ok _ -> Alcotest.fail "parsed an unknown plan"
+  | Error e ->
+      check_bool "error names the rejected input" true
+        (try
+           ignore (Str.search_forward (Str.regexp_string "meteor-strike") e 0);
+           true
+         with Not_found -> false);
+      List.iter
+        (fun n ->
+          check_bool
+            (Printf.sprintf "error lists %s" n)
+            true
+            (try
+               ignore (Str.search_forward (Str.regexp_string n) e 0);
+               true
+             with Not_found -> false))
+        Plan.names
+
 let test_plan_finiteness () =
   check_bool "crash plans are not finite" false
     (Plan.finite Plan.Crash_random || Plan.finite Plan.Crash_lock_holder);
@@ -306,6 +331,8 @@ let () =
       ( "plans",
         [
           Alcotest.test_case "names roundtrip" `Quick test_plan_names_roundtrip;
+          Alcotest.test_case "unknown error names the valid set" `Quick
+            test_plan_unknown_error_names_valid_set;
           Alcotest.test_case "finiteness" `Quick test_plan_finiteness;
           Alcotest.test_case "arming deterministic" `Quick
             test_arm_deterministic;

@@ -293,6 +293,42 @@ let test_retry_default_never_gives_up () =
   done;
   check_int "still going" 1_000 (Hostpq.Retry.attempts b)
 
+let test_retry_jitter_decorrelates () =
+  (* losers of one collision must not stay in lockstep: after the same
+     number of failed attempts, independent operations' next waits
+     should be spread over the range, not equal *)
+  let n = 256 and rounds = 6 in
+  let spins =
+    Array.init n (fun _ ->
+        let b = Hostpq.Retry.start "jitter" in
+        for _ = 1 to rounds do
+          Hostpq.Retry.once b
+        done;
+        Hostpq.Retry.spin b)
+  in
+  Array.iter
+    (fun s -> check_bool "wait within [1, cap]" true (s >= 1 && s <= 1024))
+    spins;
+  let distinct =
+    List.length (List.sort_uniq compare (Array.to_list spins))
+  in
+  check_bool "many distinct waits across operations" true (distinct >= 16);
+  (* the expected wait still grows geometrically (~1.5x per attempt:
+     uniform on [1, 3*prev]); after 6 attempts the mean is far from the
+     deterministic-doubling start but must respect the cap *)
+  let mean =
+    float_of_int (Array.fold_left ( + ) 0 spins) /. float_of_int n
+  in
+  check_bool "mean backoff grew" true (mean > 3.);
+  check_bool "mean backoff capped" true (mean <= 1024.)
+
+let test_retry_jitter_caps () =
+  let b = Hostpq.Retry.start "cap" in
+  for _ = 1 to 40 do
+    Hostpq.Retry.once b
+  done;
+  check_bool "wait never exceeds the cap" true (Hostpq.Retry.spin b <= 1024)
+
 (* ------------------------------------------------------------------ *)
 (* bounded counter *)
 
@@ -383,6 +419,10 @@ let () =
               test_retry_gives_up_on_budget;
             Alcotest.test_case "default never gives up" `Quick
               test_retry_default_never_gives_up;
+            Alcotest.test_case "jitter decorrelates backoff" `Quick
+              test_retry_jitter_decorrelates;
+            Alcotest.test_case "jitter respects the cap" `Quick
+              test_retry_jitter_caps;
           ] );
         ( "bounded-counter",
           [
