@@ -176,6 +176,17 @@ let () =
               cells;
         })
   in
+  (* the adaptive meta-queue gate: the `pqbench adapt` verdict at its
+     quick configuration (fixed shape independent of --scale, like the
+     rank and chaos sections) *)
+  let adapt =
+    timed "adapt" (fun () ->
+        let r = Pqadapt.Driver.run ~jobs Pqadapt.Driver.quick in
+        Printf.printf "\nAdaptive meta-queue gate (quick): %s\n%s"
+          (if Pqadapt.Driver.passed r then "pass" else "FAIL")
+          (Pqadapt.Driver.report_to_string r);
+        Pqadapt.Driver.to_bench r)
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let r3 x = Float.round (x *. 1000.) /. 1000. in
   let baseline_wall_s =
@@ -198,7 +209,7 @@ let () =
   let doc =
     Pqtrace.Bench_out.make ~seed:42
       ~scale:(if quick then "quick" else "full")
-      ~metrics ~rank ~chaos ~harness figures
+      ~metrics ~rank ~chaos ~adapt ~harness figures
   in
   let text = Pqtrace.Bench_out.to_string doc in
   (match Pqtrace.Bench_out.validate_string text with

@@ -41,6 +41,8 @@ let experiments : (string * string * (Pqbenchlib.Figures.scale -> unit)) list =
      fun s -> ignore (Pqbenchlib.Figures.relaxed_scale s));
     ("rankerror", "worst rank error per concurrency (pqrelax)",
      fun s -> ignore (Pqbenchlib.Figures.rank_error s));
+    ("burst", "per-phase latency on the bursty-Zipf scenario",
+     fun s -> ignore (Pqbenchlib.Figures.burst_phases s));
     ("all", "every figure, table and ablation", Pqbenchlib.Figures.run_all);
   ]
 
@@ -76,6 +78,10 @@ let list_cmd =
          Pqcore.Registry.names);
     print_endline "relaxed (MultiQueue family, bounded rank error):";
     List.iter (Printf.printf "  %s\n") Pqcore.Registry.names_relaxed;
+    print_endline "adaptive (meta-queue over registry backends, `pqbench adapt'):";
+    Printf.printf "  Adaptive(%s|%s)  [default light|heavy backends]\n"
+      Pqadapt.Meta.default.Pqadapt.Meta.light
+      Pqadapt.Meta.default.Pqadapt.Meta.heavy;
     print_endline "experiments:";
     List.iter (fun (n, d, _) -> Printf.printf "  %-10s %s\n" n d) experiments;
     print_endline
@@ -858,6 +864,96 @@ let chaos_cmd =
         $ Terms.priorities ~default:16 $ ops $ seeds $ soak $ quick $ host
         $ verbose $ report $ Terms.jobs))
 
+let adapt_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Smaller per-phase workloads (the CI gate configuration).")
+  in
+  let backends =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "backends" ] ~docv:"LIGHT,HEAVY"
+          ~doc:
+            "Backend pair as $(docv): the queue used under the light regime \
+             and under the heavy regime (default SingleLock,FunnelTree).")
+  in
+  let ops =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per processor per phase.")
+  in
+  let factor =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "factor" ] ~docv:"F"
+          ~doc:"Allowed per-phase latency ratio to the best static backend.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Also write the report to $(docv).")
+  in
+  let run quick backends procs priorities ops seed factor report jobs =
+    let base =
+      if quick then Pqadapt.Driver.quick else Pqadapt.Driver.default
+    in
+    let meta =
+      match backends with
+      | None -> Ok base.Pqadapt.Driver.meta
+      | Some s -> (
+          match String.split_on_char ',' s |> List.map String.trim with
+          | [ light; heavy ] ->
+              let m = { base.Pqadapt.Driver.meta with Pqadapt.Meta.light; heavy } in
+              (try
+                 Pqadapt.Meta.validate m;
+                 Ok m
+               with Invalid_argument e -> Error e)
+          | _ -> Error (Printf.sprintf "bad --backends %S (want LIGHT,HEAVY)" s))
+    in
+    match meta with
+    | Error e -> `Error (false, e)
+    | Ok meta ->
+        let cfg =
+          Pqadapt.Driver.make ~nprocs:procs ~npriorities:priorities
+            ~phase_ops:
+              (Option.value ops ~default:base.Pqadapt.Driver.phase_ops)
+            ~seed
+            ~factor:(Option.value factor ~default:base.Pqadapt.Driver.factor)
+            ~meta ()
+        in
+        let r = Pqadapt.Driver.run ~jobs cfg in
+        let text = Pqadapt.Driver.report_to_string r in
+        print_string text;
+        (match report with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+        | None -> ());
+        if Pqadapt.Driver.passed r then `Ok ()
+        else `Error (false, String.concat "\n" r.Pqadapt.Driver.errors)
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:
+         "Run the adaptive meta-queue against its static backends on the \
+          phase-shifted workload (uniform-heavy, skewed-low, uniform-heavy) \
+          and gate it: at least one backend switch per direction, per-phase \
+          mean latency within --factor of the best static backend and \
+          strictly better than the worst, conservation green.")
+    Term.(
+      ret
+        (const run $ quick $ backends $ Terms.procs ~default:16
+        $ Terms.priorities ~default:256 $ ops $ Terms.seed $ factor $ report
+        $ Terms.jobs))
+
 let lint_cmd =
   let root =
     Arg.(
@@ -914,5 +1010,6 @@ let () =
           (Cmd.info "pqbench" ~doc)
           [
             list_cmd; run_cmd; bench_cmd; profile_cmd; trace_cmd; validate_cmd;
-            explore_cmd; faults_cmd; races_cmd; rank_cmd; chaos_cmd; lint_cmd;
+            explore_cmd; faults_cmd; races_cmd; rank_cmd; chaos_cmd; adapt_cmd;
+            lint_cmd;
           ]))

@@ -1,0 +1,178 @@
+(* Online contention classifier: folds the probe metrics stream into a
+   Light/Heavy regime with deterministic thresholds and hysteresis.  See
+   DESIGN.md §17 for the threshold rationale. *)
+
+type regime = Light | Heavy
+
+let regime_name = function Light -> "light" | Heavy -> "heavy"
+
+(* PQADAPT_DEBUG=1 traces every decision window to stderr — host-side
+   and never part of any report, so it cannot perturb a run *)
+let debug = Sys.getenv_opt "PQADAPT_DEBUG" <> None
+
+type vote = For_light | For_heavy | Abstain
+
+type config = {
+  min_window : int;
+  heavy_rate : float;
+  light_rate : float;
+  cas_fail_heavy : float;
+  lock_wait_heavy : float;
+  remote_share_heavy : float;
+  min_traffic : int;
+  hysteresis : int;
+  cooldown : int;
+}
+
+let default =
+  {
+    min_window = 2500;
+    heavy_rate = 5.0;
+    light_rate = 3.5;
+    cas_fail_heavy = 0.25;
+    lock_wait_heavy = 3200.0;
+    remote_share_heavy = 0.85;
+    min_traffic = 64;
+    hysteresis = 2;
+    cooldown = 10_000;
+  }
+
+let validate c =
+  let bad = ref [] in
+  let need name ok = if not ok then bad := name :: !bad in
+  need "min_window >= 1" (c.min_window >= 1);
+  need "hysteresis >= 1" (c.hysteresis >= 1);
+  need "heavy_rate > light_rate" (c.heavy_rate > c.light_rate);
+  need "light_rate >= 0" (c.light_rate >= 0.);
+  need "cas_fail_heavy in [0,1]" (c.cas_fail_heavy >= 0. && c.cas_fail_heavy <= 1.);
+  need "remote_share_heavy in [0,1]"
+    (c.remote_share_heavy >= 0. && c.remote_share_heavy <= 1.);
+  need "lock_wait_heavy >= 0" (c.lock_wait_heavy >= 0.);
+  need "min_traffic >= 0" (c.min_traffic >= 0);
+  need "cooldown >= 0" (c.cooldown >= 0);
+  match !bad with
+  | [] -> ()
+  | bad ->
+      invalid_arg
+        ("Classifier.validate: " ^ String.concat ", " (List.rev bad))
+
+(* The per-window decision, exposed pure for unit tests: a window votes
+   Heavy on a high op rate or any saturated contention signal, Light on
+   a low rate with quiet signals, and abstains in the dead band between
+   the two rate thresholds.  Only a vote *for* the incumbent regime
+   resets the hysteresis streak; an abstention carries no evidence
+   either way and leaves it untouched, so a flip isn't deferred by a
+   window that happens to straddle a phase boundary.
+   [wait_rate] is lock-wait *intensity* — total wait cycles per
+   kilocycle of window span — not the per-acquire mean: a sparse window
+   holds only a handful of acquires, so one unlucky collision dominates
+   a mean, while intensity stays near zero unless processors genuinely
+   queue up. *)
+let classify c ~rate ~wait_rate (w : Pqtrace.Metrics.window) =
+  let contended =
+    (w.w_cas >= c.min_traffic && w.w_cas_fail_rate >= c.cas_fail_heavy)
+    || wait_rate >= c.lock_wait_heavy
+    || (w.w_traffic >= c.min_traffic && w.w_remote_share >= c.remote_share_heavy)
+  in
+  if contended || rate >= c.heavy_rate then For_heavy
+  else if rate <= c.light_rate then For_light
+  else Abstain
+
+type t = {
+  config : config;
+  mutable regime : regime;
+  mutable streak : int;
+  mutable last : Pqtrace.Metrics.sample;
+  mutable last_cycle : int;
+  mutable last_ops : int;
+  mutable windows : int;
+  mutable flips : int;
+  mutable hold_until : int;
+}
+
+let create ?(regime = Light) config =
+  validate config;
+  {
+    config;
+    regime;
+    streak = 0;
+    last = Pqtrace.Metrics.empty_sample;
+    last_cycle = 0;
+    last_ops = 0;
+    windows = 0;
+    flips = 0;
+    hold_until = 0;
+  }
+
+let regime t = t.regime
+let windows t = t.windows
+let flips t = t.flips
+
+(* restart the refractory period from a later instant — the meta-queue
+   calls this when a migration *completes*, since the quiesce + drain
+   can outlast a cooldown anchored at the flip decision *)
+let settle t ~now = t.hold_until <- max t.hold_until (now + t.config.cooldown)
+
+(* One decision point.  [now]/[ops] come from the simulation (cycle
+   clock, completed meta-queue ops); [stats] is the probe's registry, or
+   None on an unprobed run — then only the op-rate signal drives the
+   classifier.  Sampling is host-side and never perturbs the run; every
+   input is a deterministic function of the simulation, so the regime
+   sequence is too (the jobs1 = jobs4 identity). *)
+let observe t ~stats ~now ~ops =
+  if now - t.last_cycle < t.config.min_window then t.regime
+  else begin
+    let cur =
+      match stats with
+      | None -> Pqtrace.Metrics.empty_sample
+      | Some s -> Pqtrace.Metrics.sample s
+    in
+    let w = Pqtrace.Metrics.window ~prev:t.last ~cur in
+    let span = now - t.last_cycle in
+    let rate = 1000. *. float (ops - t.last_ops) /. float span in
+    let wait_rate =
+      1000.
+      *. float (cur.s_lock_wait_total - t.last.s_lock_wait_total)
+      /. float span
+    in
+    t.last <- cur;
+    t.last_cycle <- now;
+    t.last_ops <- ops;
+    t.windows <- t.windows + 1;
+    if now < t.hold_until then begin
+      (* refractory period after a flip: keep resampling (so the first
+         live window spans only settled data) but don't vote — the
+         migration itself floods whichever signal the new backend is
+         sensitive to (e.g. parked ops thundering onto the lock) *)
+      t.streak <- 0;
+      t.regime
+    end
+    else begin
+    let vote = classify t.config ~rate ~wait_rate w in
+    let target =
+      match vote with
+      | For_heavy -> Some Heavy
+      | For_light -> Some Light
+      | Abstain -> None
+    in
+    if debug then
+      Printf.eprintf
+        "[clf] now=%d rate=%.2f cas=%d fail=%.2f lk=%d wrate=%.1f \
+         vote=%s regime=%s streak=%d\n%!"
+        now rate w.w_cas w.w_cas_fail_rate w.w_lock_acquires wait_rate
+        (match vote with For_heavy -> "H" | For_light -> "L" | Abstain -> "-")
+        (regime_name t.regime) t.streak;
+    (match target with
+    | Some r when r <> t.regime ->
+        t.streak <- t.streak + 1;
+        if t.streak >= t.config.hysteresis then begin
+          t.regime <- r;
+          t.streak <- 0;
+          t.flips <- t.flips + 1;
+          t.hold_until <- now + t.config.cooldown
+        end
+    | Some _ -> t.streak <- 0
+    | None -> () (* abstention is absence of evidence: keep the streak *));
+    t.regime
+    end
+  end

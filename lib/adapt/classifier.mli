@@ -1,0 +1,81 @@
+(** Online contention classifier for the adaptive meta-queue.
+
+    Consumes the live probe/metrics stream as {!Pqtrace.Metrics.sample}
+    deltas — CAS-failure rate, lock wait, remote-socket traffic share —
+    plus the meta-queue's own op arrival rate, over sliding windows of
+    at least [min_window] cycles, and folds them into a {!regime} with
+    deterministic thresholds and {e hysteresis}: a flip needs
+    [hysteresis] consecutive dissenting windows.  Every input is a pure
+    function of the (deterministic) simulation and probe stream, so the
+    regime sequence — and hence the meta-queue's switching — is
+    byte-identical across [--jobs] settings.  Thresholds are documented
+    in DESIGN.md §17. *)
+
+type regime = Light | Heavy
+
+val regime_name : regime -> string
+(** ["light"] / ["heavy"] *)
+
+(** one window's verdict; [Abstain] covers the dead band between the
+    two rate thresholds — it carries no evidence either way, so it
+    leaves the hysteresis streak untouched (only a vote for the
+    incumbent regime resets it) *)
+type vote = For_light | For_heavy | Abstain
+
+type config = {
+  min_window : int;  (** min cycles between decision samples *)
+  heavy_rate : float;  (** ops per kilocycle at/above which a window votes Heavy *)
+  light_rate : float;  (** ops per kilocycle at/below which a window votes Light *)
+  cas_fail_heavy : float;  (** CAS-failure rate voting Heavy *)
+  lock_wait_heavy : float;
+      (** lock-wait intensity voting Heavy: total wait cycles per
+          kilocycle of window span (robust on sparse windows, unlike a
+          per-acquire mean) *)
+  remote_share_heavy : float;  (** remote-traffic share voting Heavy *)
+  min_traffic : int;  (** ignore rate signals on fewer samples than this *)
+  hysteresis : int;  (** consecutive dissenting windows before a flip *)
+  cooldown : int;
+      (** refractory cycles after a flip: windows are resampled but not
+          voted on, so the migration's own disturbance (parked ops
+          thundering onto the new backend) can't flip the regime back *)
+}
+
+val default : config
+
+val validate : config -> unit
+(** @raise Invalid_argument naming every out-of-range field *)
+
+val classify :
+  config -> rate:float -> wait_rate:float -> Pqtrace.Metrics.window -> vote
+(** the per-window decision, exposed pure for tests: Heavy on a
+    saturated contention signal (CAS-failure rate, lock-wait intensity
+    [wait_rate], remote-traffic share) or [rate >= heavy_rate]; Light
+    on [rate <= light_rate] with quiet signals; else [Abstain] *)
+
+type t
+
+val create : ?regime:regime -> config -> t
+(** [regime] (default [Light]) seeds the initial operating mode.
+    @raise Invalid_argument per {!validate} *)
+
+val observe : t -> stats:Pqsim.Stats.t option -> now:int -> ops:int -> regime
+(** [observe t ~stats ~now ~ops] is one decision point: if fewer than
+    [min_window] cycles passed since the last one, returns the current
+    regime unchanged; otherwise derives the window since the previous
+    sample ({!Pqtrace.Metrics.window}) and the op rate, votes, applies
+    hysteresis, and returns the (possibly new) regime.  [stats] is the
+    probe's metrics registry — [None] (unprobed run) leaves only the
+    op-rate signal.  Host-side: never touches simulated time. *)
+
+val settle : t -> now:int -> unit
+(** restart the refractory period from [now] — called by the meta-queue
+    when a migration completes, since quiesce + drain can outlast a
+    cooldown anchored at the flip decision *)
+
+val regime : t -> regime
+
+val windows : t -> int
+(** decision windows evaluated (excludes short-circuited calls) *)
+
+val flips : t -> int
+(** regime changes so far *)

@@ -2,27 +2,38 @@ type t = {
   nprocs : int;
   mesh_width : int;
   mem_modules : int;
+  sockets : int;
   cache_hit : int;
   miss_base : int;
   hop_cost : int;
+  remote_hop_cost : int;
   read_occupancy : int;
   write_occupancy : int;
   atomic_occupancy : int;
 }
 
-let make ?mem_modules ?(cache_hit = 2) ?(miss_base = 12) ?(hop_cost = 1)
-    ?(read_occupancy = 1) ?(write_occupancy = 4) ?(atomic_occupancy = 6)
-    ~nprocs () =
+let make ?mem_modules ?(sockets = 1) ?(cache_hit = 2) ?(miss_base = 12)
+    ?(hop_cost = 1) ?remote_hop_cost ?(read_occupancy = 1)
+    ?(write_occupancy = 4) ?(atomic_occupancy = 6) ~nprocs () =
   if nprocs <= 0 then invalid_arg "Machine.make: nprocs must be positive";
+  if sockets < 1 || sockets > nprocs then
+    invalid_arg "Machine.make: sockets must be in [1, nprocs]";
+  let remote_hop_cost =
+    match remote_hop_cost with Some c -> c | None -> hop_cost
+  in
+  if remote_hop_cost < 0 then
+    invalid_arg "Machine.make: remote_hop_cost must be non-negative";
   let mem_modules = match mem_modules with Some m -> m | None -> nprocs in
   let rec width w = if w * w >= nprocs then w else width (w + 1) in
   {
     nprocs;
     mesh_width = width 1;
     mem_modules;
+    sockets;
     cache_hit;
     miss_base;
     hop_cost;
+    remote_hop_cost;
     read_occupancy;
     write_occupancy;
     atomic_occupancy;
@@ -40,3 +51,14 @@ let hops t ~proc ~line =
   let px, py = coords t proc in
   let mx, my = coords t (home_module t line) in
   abs (px - mx) + abs (py - my)
+
+(* Sockets partition the processor range into [sockets] contiguous,
+   nearly-equal blocks; a memory module is co-located with the processor
+   of the same index (mod nprocs), so its socket follows that mapping. *)
+let socket_of t i = if t.sockets = 1 then 0 else i mod t.nprocs * t.sockets / t.nprocs
+
+let same_socket t ~proc ~line =
+  socket_of t proc = socket_of t (home_module t line)
+
+let hop_cost_of t ~proc ~line =
+  if same_socket t ~proc ~line then t.hop_cost else t.remote_hop_cost

@@ -5,15 +5,26 @@
     with Proteus: processors and memory modules laid out on a 2-D mesh, a
     directory-based coherence protocol, and cycle costs for cache hits,
     misses, network hops and exclusive occupancy of a cache line while a
-    write or atomic operation is serviced. *)
+    write or atomic operation is serviced.
+
+    On top of the mesh, processors may be grouped into {e sockets}:
+    contiguous, nearly-equal blocks of the processor range, each with its
+    co-located memory modules.  A miss whose home module sits in another
+    socket pays [remote_hop_cost] per mesh hop instead of [hop_cost],
+    modelling the asymmetric intra/inter-socket interconnect of a modern
+    multi-socket NUMA machine.  The default ([sockets = 1],
+    [remote_hop_cost = hop_cost]) is bit-identical to the flat mesh. *)
 
 type t = private {
   nprocs : int;  (** number of simulated processors *)
   mesh_width : int;  (** processors sit on a [mesh_width^2] grid *)
   mem_modules : int;  (** memory modules, distributed round-robin over lines *)
+  sockets : int;  (** contiguous processor blocks with co-located memory *)
   cache_hit : int;  (** cycles for a read satisfied by the local cache *)
   miss_base : int;  (** base cycles for any access that reaches memory *)
   hop_cost : int;  (** extra cycles per mesh hop to the line's home module *)
+  remote_hop_cost : int;
+      (** per-hop cycles when the home module is in another socket *)
   read_occupancy : int;
       (** cycles a read miss occupies the line's directory *)
   write_occupancy : int;  (** cycles a write occupies the line exclusively *)
@@ -23,9 +34,11 @@ type t = private {
 
 val make :
   ?mem_modules:int ->
+  ?sockets:int ->
   ?cache_hit:int ->
   ?miss_base:int ->
   ?hop_cost:int ->
+  ?remote_hop_cost:int ->
   ?read_occupancy:int ->
   ?write_occupancy:int ->
   ?atomic_occupancy:int ->
@@ -35,7 +48,10 @@ val make :
 (** [make ~nprocs ()] builds a machine with defaults chosen to resemble the
     relative costs in the paper's testbed: cheap cache hits, memory accesses
     an order of magnitude dearer, and atomic operations holding a line a few
-    cycles. *)
+    cycles.  [sockets] defaults to 1 and [remote_hop_cost] to [hop_cost],
+    so the default machine is exactly the pre-socket flat mesh.
+    @raise Invalid_argument when [sockets] is outside [1, nprocs] or
+    [remote_hop_cost] is negative. *)
 
 val hops : t -> proc:int -> line:int -> int
 (** [hops t ~proc ~line] is the mesh distance between processor [proc] and
@@ -43,3 +59,15 @@ val hops : t -> proc:int -> line:int -> int
 
 val home_module : t -> int -> int
 (** [home_module t line] is the memory module owning [line]. *)
+
+val socket_of : t -> int -> int
+(** [socket_of t i] is the socket of processor [i] (memory module indices
+    map through their co-located processor, [i mod nprocs]): contiguous
+    blocks, total over [0, nprocs) and onto [0, sockets). *)
+
+val same_socket : t -> proc:int -> line:int -> bool
+(** whether [proc] and the home module of [line] share a socket *)
+
+val hop_cost_of : t -> proc:int -> line:int -> int
+(** the per-hop cost [proc] pays to reach [line]'s home module:
+    [hop_cost] within a socket, [remote_hop_cost] across sockets *)

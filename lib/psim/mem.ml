@@ -16,6 +16,7 @@ type t = {
   machine : Machine.t;
   mask_words : int; (* words of reader-mask per line: ceil (nprocs / 63) *)
   mutable probing : bool; (* per-run copy of the probe flag (set by Sim) *)
+  mutable metrics : Stats.t option; (* probe metrics registry (set by Sim) *)
   mutable data : int array;
   mutable busy : int array;
   mutable readers : int array; (* line * mask_words .. : current-copy bits *)
@@ -44,6 +45,7 @@ let create machine =
     machine;
     mask_words = (nprocs + 62) / 63;
     probing = false;
+    metrics = None;
     data = Array.make initial_words 0;
     busy = Array.make initial_words 0;
     readers = Array.make (initial_words * ((nprocs + 62) / 63)) 0;
@@ -64,6 +66,20 @@ let create machine =
 
 let machine t = t.machine
 let set_probing t b = t.probing <- b
+let set_metrics t m = t.metrics <- m
+
+(* probe-gated: classify a coherence transaction as intra- or
+   inter-socket for the metrics registry (the adaptive classifier's
+   remote-traffic-share signal).  Flat-socket machines report all
+   traffic local. *)
+let count_locality t ~proc ~addr =
+  match t.metrics with
+  | None -> ()
+  | Some s ->
+      Stats.record s
+        (if Machine.same_socket t.machine ~proc ~line:addr then "mem.local"
+         else "mem.remote")
+        1
 
 let ensure t n =
   if n > Array.length t.data then begin
@@ -170,7 +186,9 @@ let node_factor t addr = t.node_factor.(Machine.home_module t.machine addr)
 let miss_latency t ~proc ~addr =
   let m = t.machine in
   node_factor t addr
-  * (m.Machine.miss_base + (m.Machine.hop_cost * Machine.hops m ~proc ~line:addr))
+  * (m.Machine.miss_base
+    + (Machine.hop_cost_of m ~proc ~line:addr * Machine.hops m ~proc ~line:addr)
+    )
 
 (* Begin service of an op needing the line's directory: queue behind any
    in-flight exclusive service, then occupy it for [occ] cycles.  Returns the
@@ -193,7 +211,10 @@ let read t ~proc ~now addr =
   end
   else begin
     t.misses <- t.misses + 1;
-    if t.probing then t.traffic_by_line.(addr) <- t.traffic_by_line.(addr) + 1;
+    if t.probing then begin
+      t.traffic_by_line.(addr) <- t.traffic_by_line.(addr) + 1;
+      count_locality t ~proc ~addr
+    end;
     let served = serve t ~now ~addr ~occ:t.machine.Machine.read_occupancy in
     set_cached t ~proc addr;
     (served + miss_latency t ~proc ~addr, t.data.(addr))
@@ -201,7 +222,10 @@ let read t ~proc ~now addr =
 
 let update t ~proc ~now ~addr ~occ f =
   t.updates <- t.updates + 1;
-  if t.probing then t.traffic_by_line.(addr) <- t.traffic_by_line.(addr) + 1;
+  if t.probing then begin
+    t.traffic_by_line.(addr) <- t.traffic_by_line.(addr) + 1;
+    count_locality t ~proc ~addr
+  end;
   t.writer_by_line.(addr) <- proc;
   let served = serve t ~now ~addr ~occ in
   let old = t.data.(addr) in

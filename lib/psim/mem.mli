@@ -32,6 +32,15 @@ val set_probing : t -> bool -> unit
     concurrent simulations in different domains don't observe each
     other's probes. *)
 
+val set_metrics : t -> Stats.t option -> unit
+(** [set_metrics t m] points the memory at the probe's metrics registry
+    (set by {!Sim.run} alongside {!set_probing}).  While probing, every
+    coherence transaction additionally records a ["mem.local"] or
+    ["mem.remote"] sample by the socket relation between the issuing
+    processor and the line's home module — the remote-traffic-share
+    signal of the adaptive classifier.  Passive: recording never touches
+    simulated time or scheduling. *)
+
 (** {1 Allocation and raw access (simulation setup / inspection)} *)
 
 val alloc : t -> int -> int

@@ -370,6 +370,7 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo) ?probe
   let prev_active = Probe.active () in
   Probe.set_active (probe <> None);
   Mem.set_probing mem (probe <> None);
+  Mem.set_metrics mem metrics;
   Fun.protect ~finally:(fun () -> Probe.set_active prev_active) @@ fun () ->
   for pid = 0 to nprocs - 1 do
     Effect.Deep.match_with (fun () -> program shared pid) () (handler pid)

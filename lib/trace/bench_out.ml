@@ -71,6 +71,36 @@ type chaos = {
   cells : chaos_cell list;
 }
 
+type adapt_phase = {
+  ad_phase : string;
+  ad_adaptive : float;
+  ad_best_queue : string;
+  ad_best : float;
+  ad_worst_queue : string;
+  ad_worst : float;
+}
+
+type adapt_switch = {
+  as_cycle : int;
+  as_from : string;
+  as_to : string;
+  as_regime : string;
+  as_moved : int;
+}
+
+type adapt = {
+  adapt_nprocs : int;
+  adapt_npriorities : int;
+  adapt_ops_per_phase : int;
+  adapt_factor : float;
+  adapt_light : string;
+  adapt_heavy : string;
+  adapt_windows : int;
+  adapt_pass : bool;
+  adapt_phases : adapt_phase list;
+  adapt_switches : adapt_switch list;
+}
+
 type t = {
   paper : string;
   seed : int;
@@ -79,12 +109,13 @@ type t = {
   metrics : (string * Json.t) list; (* free-form extras, e.g. per-queue derived metrics *)
   rank : rank option; (* rank-error verification results (pqbench rank) *)
   chaos : chaos option; (* chaos-matrix verdicts (pqbench chaos) *)
+  adapt : adapt option; (* adaptive meta-queue gate (pqbench adapt) *)
   harness : harness option; (* wall-clock measurements: the one run-dependent section *)
 }
 
-let make ?(paper = "shavit-zemach-podc99") ?(metrics = []) ?rank ?chaos ?harness
-    ~seed ~scale figures =
-  { paper; seed; scale; figures; metrics; rank; chaos; harness }
+let make ?(paper = "shavit-zemach-podc99") ?(metrics = []) ?rank ?chaos ?adapt
+    ?harness ~seed ~scale figures =
+  { paper; seed; scale; figures; metrics; rank; chaos; adapt; harness }
 
 let series_to_json s =
   Json.Obj
@@ -189,6 +220,42 @@ let chaos_to_json c =
       ("cells", Json.List (List.map chaos_cell_to_json c.cells));
     ]
 
+let adapt_phase_to_json p =
+  Json.Obj
+    [
+      ("phase", Json.String p.ad_phase);
+      ("adaptive", Json.Float p.ad_adaptive);
+      ("best_queue", Json.String p.ad_best_queue);
+      ("best", Json.Float p.ad_best);
+      ("worst_queue", Json.String p.ad_worst_queue);
+      ("worst", Json.Float p.ad_worst);
+    ]
+
+let adapt_switch_to_json s =
+  Json.Obj
+    [
+      ("cycle", Json.Int s.as_cycle);
+      ("from", Json.String s.as_from);
+      ("to", Json.String s.as_to);
+      ("regime", Json.String s.as_regime);
+      ("moved", Json.Int s.as_moved);
+    ]
+
+let adapt_to_json a =
+  Json.Obj
+    [
+      ("nprocs", Json.Int a.adapt_nprocs);
+      ("npriorities", Json.Int a.adapt_npriorities);
+      ("ops_per_phase", Json.Int a.adapt_ops_per_phase);
+      ("factor", Json.Float a.adapt_factor);
+      ("light", Json.String a.adapt_light);
+      ("heavy", Json.String a.adapt_heavy);
+      ("windows", Json.Int a.adapt_windows);
+      ("pass", Json.Bool a.adapt_pass);
+      ("phases", Json.List (List.map adapt_phase_to_json a.adapt_phases));
+      ("switches", Json.List (List.map adapt_switch_to_json a.adapt_switches));
+    ]
+
 let to_json t =
   Json.Obj
     ([
@@ -204,6 +271,9 @@ let to_json t =
       | None -> [])
     @ (match t.chaos with
       | Some c -> [ ("chaos", chaos_to_json c) ]
+      | None -> [])
+    @ (match t.adapt with
+      | Some a -> [ ("adapt", adapt_to_json a) ]
       | None -> [])
     @
     match t.harness with
@@ -377,6 +447,77 @@ let validate_chaos ctx j =
       if safe = not violated then Ok ()
       else Error (ctx ^ ": safe flag contradicts the recorded verdicts")
 
+(* the adapt gate's two directions as stable strings (Classifier.regime
+   names); also the only values [switches[].regime] may carry *)
+let adapt_regimes = [ "light"; "heavy" ]
+
+let validate_adapt_phase ctx j =
+  let* phase = v_string ctx "phase" j in
+  let ctx = Printf.sprintf "%s(%s)" ctx phase in
+  let* _ = v_float ctx "adaptive" j in
+  let* _ = v_string ctx "best_queue" j in
+  let* best = v_float ctx "best" j in
+  let* _ = v_string ctx "worst_queue" j in
+  let* worst = v_float ctx "worst" j in
+  if best > worst then Error (ctx ^ ": best static exceeds worst static")
+  else Ok ()
+
+let validate_adapt_switch ctx j =
+  let* _ = v_int ctx "cycle" j in
+  let* _ = v_string ctx "from" j in
+  let* _ = v_string ctx "to" j in
+  let* regime = v_string ctx "regime" j in
+  if not (List.mem regime adapt_regimes) then
+    Error
+      (Printf.sprintf "%s: regime %S not one of %s" ctx regime
+         (String.concat ", " adapt_regimes))
+  else
+    let* moved = v_int ctx "moved" j in
+    if moved < 0 then Error (ctx ^ ": negative moved count") else Ok ()
+
+let validate_adapt ctx j =
+  let* nprocs = v_int ctx "nprocs" j in
+  if nprocs < 1 then Error (ctx ^ ": nprocs must be >= 1")
+  else
+    let* _ = v_int ctx "npriorities" j in
+    let* _ = v_int ctx "ops_per_phase" j in
+    let* factor = v_float ctx "factor" j in
+    if factor <= 0. then Error (ctx ^ ": factor must be positive")
+    else
+      let* _ = v_string ctx "light" j in
+      let* _ = v_string ctx "heavy" j in
+      let* _ = v_int ctx "windows" j in
+      let* pass = v_bool ctx "pass" j in
+      let* phases = v_list ctx "phases" j in
+      if phases = [] then Error (ctx ^ ": empty phases list")
+      else
+        let* () = all (ctx ^ ".phases") validate_adapt_phase 0 phases in
+        let* switches = v_list ctx "switches" j in
+        let* () = all (ctx ^ ".switches") validate_adapt_switch 0 switches in
+        (* the gate's own consistency: recompute the verdict from the
+           recorded numbers (with a whisker of slack for float
+           round-tripping) and compare with the recorded pass flag *)
+        let num key p =
+          Option.value ~default:nan
+            (Option.bind (Json.member key p) Json.to_float)
+        in
+        let str key p =
+          Option.value ~default:""
+            (Option.bind (Json.member key p) Json.to_str)
+        in
+        let eps m = 1e-6 +. (1e-9 *. Float.abs m) in
+        let phase_ok p =
+          let a = num "adaptive" p and b = num "best" p and w = num "worst" p in
+          a <= (factor *. b) +. eps b && a < w +. eps w
+        in
+        let dir r = List.exists (fun s -> str "regime" s = r) switches in
+        let recomputed =
+          List.for_all phase_ok phases && dir "heavy" && dir "light"
+        in
+        if pass && not recomputed then
+          Error (ctx ^ ": pass flag contradicts the recorded phases/switches")
+        else Ok ()
+
 let validate_rank ctx j =
   let* nprocs = v_int ctx "nprocs" j in
   if nprocs < 1 then Error (ctx ^ ": nprocs must be >= 1")
@@ -411,6 +552,11 @@ let validate j =
         match Json.member "chaos" j with
         | None -> Ok ()
         | Some c -> validate_chaos (ctx ^ ".chaos") c
+      in
+      let* () =
+        match Json.member "adapt" j with
+        | None -> Ok ()
+        | Some a -> validate_adapt (ctx ^ ".adapt") a
       in
       (match Json.member "harness" j with
       | None -> Ok ()

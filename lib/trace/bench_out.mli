@@ -98,6 +98,39 @@ type chaos = {
 (** the chaos-matrix section (pqbench chaos): deterministic per seed,
     so it participates in byte-stability comparisons *)
 
+type adapt_phase = {
+  ad_phase : string;  (** phase name, e.g. "skewed-low" *)
+  ad_adaptive : float;  (** meta-queue mean latency over the phase *)
+  ad_best_queue : string;
+  ad_best : float;  (** best static backend's mean *)
+  ad_worst_queue : string;
+  ad_worst : float;
+}
+
+type adapt_switch = {
+  as_cycle : int;
+  as_from : string;
+  as_to : string;
+  as_regime : string;  (** "light" | "heavy" (direction switched {e to}) *)
+  as_moved : int;  (** elements migrated *)
+}
+
+type adapt = {
+  adapt_nprocs : int;
+  adapt_npriorities : int;
+  adapt_ops_per_phase : int;
+  adapt_factor : float;  (** allowed ratio to the best static backend *)
+  adapt_light : string;  (** light-regime backend *)
+  adapt_heavy : string;
+  adapt_windows : int;  (** classifier decision windows *)
+  adapt_pass : bool;
+  adapt_phases : adapt_phase list;
+  adapt_switches : adapt_switch list;  (** chronological *)
+}
+(** the adaptive meta-queue gate section (pqbench adapt /
+    [Pqadapt.Driver]): deterministic per seed, so it participates in
+    byte-stability comparisons *)
+
 type t = {
   paper : string;
   seed : int;
@@ -106,6 +139,7 @@ type t = {
   metrics : (string * Json.t) list;  (** free-form extras *)
   rank : rank option;
   chaos : chaos option;
+  adapt : adapt option;
   harness : harness option;
 }
 
@@ -114,6 +148,7 @@ val make :
   ?metrics:(string * Json.t) list ->
   ?rank:rank ->
   ?chaos:chaos ->
+  ?adapt:adapt ->
   ?harness:harness ->
   seed:int ->
   scale:string ->
@@ -131,8 +166,14 @@ val validate : Json.t -> (unit, string) result
     with the recorded numbers); an optional [chaos] section (non-empty
     cells, verdicts drawn from {!chaos_verdicts}, non-violating cells
     inside their recorded bound, safe flag consistent with the cells);
-    an optional [harness] section with jobs/wall_s/experiments; rejects
-    other [schema_version]s *)
+    an optional [adapt] section (non-empty phases each with
+    best <= worst, switch regimes drawn from light/heavy, and — when
+    the pass flag is set — the gate verdict re-derivable from the
+    recorded per-phase means and switch directions; a false flag with
+    passing numbers is accepted, since the gate also judges aborts and
+    conservation failures the section doesn't record); an optional
+    [harness] section with jobs/wall_s/experiments; rejects other
+    [schema_version]s *)
 
 val validate_string : string -> (unit, string) result
 (** parse + validate *)

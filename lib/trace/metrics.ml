@@ -24,6 +24,9 @@ type derived = {
   comb_absorbed : int;
   comb_central : int;
   comb_combining_rate : float; (* absorbed / ops *)
+  remote_traffic : int;
+  local_traffic : int;
+  remote_share : float; (* remote / (remote + local) *)
 }
 
 let ratio num den =
@@ -37,6 +40,7 @@ let derive s =
   let funnel_eliminated = c "funnel.eliminate" in
   let comb_ops = c "comb.ops" in
   let comb_absorbed = c "comb.absorbed" in
+  let remote_traffic = c "mem.remote" and local_traffic = c "mem.local" in
   {
     cas_ok;
     cas_fail;
@@ -61,7 +65,72 @@ let derive s =
     comb_absorbed;
     comb_central = c "comb.central";
     comb_combining_rate = ratio comb_absorbed comb_ops;
+    remote_traffic;
+    local_traffic;
+    remote_share = ratio remote_traffic (remote_traffic + local_traffic);
   }
+
+(* ---- windowed rates (the adaptive classifier's inputs) ----------- *)
+
+type sample = {
+  s_cas_ok : int;
+  s_cas_fail : int;
+  s_lock_acquires : int;
+  s_lock_wait_total : int;
+  s_remote : int;
+  s_local : int;
+}
+
+let empty_sample =
+  {
+    s_cas_ok = 0;
+    s_cas_fail = 0;
+    s_lock_acquires = 0;
+    s_lock_wait_total = 0;
+    s_remote = 0;
+    s_local = 0;
+  }
+
+let sample s =
+  let c = Stats.count s in
+  {
+    s_cas_ok = c "cas.ok";
+    s_cas_fail = c "cas.fail";
+    s_lock_acquires = c "lock.acquire";
+    s_lock_wait_total = Stats.sum s "lock.wait";
+    s_remote = c "mem.remote";
+    s_local = c "mem.local";
+  }
+
+type window = {
+  w_cas : int;
+  w_cas_fail_rate : float;
+  w_lock_acquires : int;
+  w_lock_wait_mean : float;
+  w_traffic : int;
+  w_remote_share : float;
+}
+
+let window ~prev ~cur =
+  let d f = f cur - f prev in
+  let cas_ok = d (fun s -> s.s_cas_ok) and cas_fail = d (fun s -> s.s_cas_fail) in
+  let acq = d (fun s -> s.s_lock_acquires) in
+  let wait = d (fun s -> s.s_lock_wait_total) in
+  let remote = d (fun s -> s.s_remote) and local = d (fun s -> s.s_local) in
+  {
+    w_cas = cas_ok + cas_fail;
+    w_cas_fail_rate = ratio cas_fail (cas_ok + cas_fail);
+    w_lock_acquires = acq;
+    w_lock_wait_mean = ratio wait acq;
+    w_traffic = remote + local;
+    w_remote_share = ratio remote (remote + local);
+  }
+
+let pp_window ppf w =
+  Format.fprintf ppf
+    "cas %d (fail %.2f) locks %d (wait %.1f) traffic %d (remote %.2f)" w.w_cas
+    w.w_cas_fail_rate w.w_lock_acquires w.w_lock_wait_mean w.w_traffic
+    w.w_remote_share
 
 let to_json d =
   Json.Obj
@@ -89,6 +158,9 @@ let to_json d =
       ("comb_absorbed", Json.Int d.comb_absorbed);
       ("comb_central", Json.Int d.comb_central);
       ("comb_combining_rate", Json.Float d.comb_combining_rate);
+      ("remote_traffic", Json.Int d.remote_traffic);
+      ("local_traffic", Json.Int d.local_traffic);
+      ("remote_share", Json.Float d.remote_share);
     ]
 
 let pp ppf d =
@@ -119,4 +191,10 @@ let pp ppf d =
       d.comb_ops d.comb_absorbed
       (100. *. d.comb_combining_rate)
       d.comb_central;
+  if d.remote_traffic + d.local_traffic > 0 then
+    line "numa:   %d transactions: %d remote (%.1f%%), %d local@,"
+      (d.remote_traffic + d.local_traffic)
+      d.remote_traffic
+      (100. *. d.remote_share)
+      d.local_traffic;
   line "@]"

@@ -30,6 +30,9 @@ type derived = {
   comb_absorbed : int;
   comb_central : int;
   comb_combining_rate : float;  (** absorbed / ops *)
+  remote_traffic : int;  (** inter-socket coherence transactions *)
+  local_traffic : int;  (** intra-socket coherence transactions *)
+  remote_share : float;  (** remote / (remote + local) *)
 }
 
 val derive : Pqsim.Stats.t -> derived
@@ -38,3 +41,43 @@ val derive : Pqsim.Stats.t -> derived
 val to_json : derived -> Json.t
 val pp : Format.formatter -> derived -> unit
 (** human-readable block; sections with no data are omitted *)
+
+(** {2 Windowed rates}
+
+    The online classifier ([Pqadapt.Classifier]) consumes the metrics
+    registry as a stream: take a cumulative {!sample} at each decision
+    point and derive the {!window} of rates since the previous one.
+    Sampling is a host-side read of the registry — it never perturbs the
+    simulation — and the sequence of samples is a pure function of the
+    (deterministic) probe stream. *)
+
+type sample = {
+  s_cas_ok : int;
+  s_cas_fail : int;
+  s_lock_acquires : int;
+  s_lock_wait_total : int;
+  s_remote : int;
+  s_local : int;
+}
+(** cumulative counters at one instant *)
+
+val empty_sample : sample
+(** the zero sample: the start-of-run baseline, and what {!sample} of an
+    empty registry returns *)
+
+val sample : Pqsim.Stats.t -> sample
+
+type window = {
+  w_cas : int;  (** CAS attempts in the window *)
+  w_cas_fail_rate : float;  (** failed / attempts; 0.0 on an empty window *)
+  w_lock_acquires : int;
+  w_lock_wait_mean : float;  (** wait cycles per acquire; 0.0 when none *)
+  w_traffic : int;  (** coherence transactions in the window *)
+  w_remote_share : float;  (** remote / traffic; 0.0 on an empty window *)
+}
+
+val window : prev:sample -> cur:sample -> window
+(** rates over the half-open interval [(prev, cur]]; an empty window
+    (equal samples) yields all-zero counts and 0.0 rates, never NaN *)
+
+val pp_window : Format.formatter -> window -> unit

@@ -492,6 +492,56 @@ let rank_error scale =
     ~xlabel:"P" data;
   data
 
+(* ------------------------------------------------------------------ *)
+(* the bursty-Zipf scenario as a figure family: per-phase latency on the
+   paper's axes (concurrency sweep, cycles/access), one series per
+   (queue, phase).  Phase 0 is the bursty half (Zipf producers vs
+   delete-heavy consumers), phase 1 the closing drain storm — the two
+   regimes a single whole-run mean conflates. *)
+
+let burst_phase_labels = [| "burst"; "drain" |]
+
+let burst_phases scale =
+  let sc = Scenario.burst in
+  let npriorities = Scenario.npriorities_for sc ~default:16 in
+  let rows =
+    grid scale ~series:Pqcore.Registry.scalable_names
+      ~points:(fun _ -> concurrencies scale [ 2; 4; 8; 16; 32; 64; 128; 256 ])
+      ~run:(fun queue p ->
+        progress "[bench] burst %s P=%d" queue p;
+        let o =
+          Scenario.run_sim ~phase_timing:true ~queue ~nprocs:p ~npriorities
+            ~ops_per_proc:scale.ops ~seed:42 sc
+        in
+        ( p,
+          Array.init
+            (Array.length burst_phase_labels)
+            (fun i ->
+              match
+                Pqsim.Stats.summary o.Scenario.stats (Scenario.phase_key i)
+              with
+              | Some s -> s.Pqsim.Stats.mean
+              | None -> 0.) ))
+      ~mk:(fun queue points -> (queue, points))
+  in
+  let data =
+    List.concat_map
+      (fun (queue, points) ->
+        List.init (Array.length burst_phase_labels) (fun i ->
+            {
+              Table.label =
+                Printf.sprintf "%s %s" queue burst_phase_labels.(i);
+              points = List.map (fun (p, means) -> (p, means.(i))) points;
+            }))
+      rows
+  in
+  Table.print
+    ~title:
+      "Burst (extension): per-phase latency on the bursty-Zipf scenario \
+       (cycles/access)"
+    ~xlabel:"P" data;
+  data
+
 let run_all scale =
   ignore (fig5_left scale);
   ignore (fig5_right scale);
@@ -509,6 +559,7 @@ let run_all scale =
   ignore (relaxed scale);
   ignore (relaxed_scale scale);
   ignore (rank_error scale);
+  ignore (burst_phases scale);
   ignore (sensitivity scale)
 
 (* ------------------------------------------------------------------ *)
@@ -537,6 +588,11 @@ let collect ?timings scale =
   (* figures execute in this order — historically the right-to-left
      evaluation of the result list literal, kept explicit so printed
      tables stay in the established order *)
+  let burst_phases_f =
+    fig "burst_phases"
+      "per-phase latency on the bursty-Zipf scenario (cycles/access)" "P"
+      (timed "burst_phases" (fun () -> burst_phases scale))
+  in
   let rank_error_f =
     fig "rank_error"
       "worst rank error over adversarial schedules (elements per delete-min)"
@@ -664,4 +720,5 @@ let collect ?timings scale =
     relaxed_f;
     relaxed_scale_f;
     rank_error_f;
+    burst_phases_f;
   ]

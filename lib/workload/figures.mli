@@ -95,6 +95,12 @@ val rank_error : scale -> Table.series list
     MultiQueue variant (FunnelTree rides along as the strict zero
     baseline), over default/random-preemption/PCT schedules *)
 
+val burst_phases : scale -> Table.series list
+(** the bursty-Zipf scenario as a figure family: per-phase mean latency
+    (phase 0 the bursty half, phase 1 the closing drain storm) for the
+    scalable queues across the concurrency sweep — one series per
+    (queue, phase), via [Scenario.run_sim ~phase_timing:true] *)
+
 val sensitivity : scale -> string list list
 (** the headline comparison re-run under perturbed machine cost models
     (slower network, dearer misses, longer atomic occupancy, uniform

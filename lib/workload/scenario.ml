@@ -16,6 +16,7 @@ type phase =
   | Drain of { ops : int }
   | Hold of { ops : int; lag : int }
   | Idle of { cycles : int }
+  | Trickle of { ops : int; bias : int; skew : float; gap : int }
 
 type role = nprocs:int -> pid:int -> ops_per_proc:int -> phase list
 
@@ -89,6 +90,12 @@ let sssp ?(nodes = 24) ?(degree = 3) ?(max_weight = 8) () =
     shape = Sssp { nodes; degree; max_weight };
   }
 
+(* out-of-catalogue construction: subsystems (pqadapt's phase-shifted
+   workload) compose their own phased scenarios without widening [all] —
+   and thus without widening the chaos matrix or its golden outputs *)
+let phased ~name ~descr ?(prefill_per_proc = 0) role =
+  { name; descr; prefill_per_proc; shape = Phased role }
+
 let all = [ coinflip; hold; burst; sssp () ]
 let names = List.sort compare (List.map name all)
 
@@ -103,11 +110,15 @@ let of_string s =
 (* ---- sizing ----------------------------------------------------- *)
 
 let insert_count = function
-  | Mixed { ops; _ } | Produce { ops; _ } | Hold { ops; _ } -> ops
+  | Mixed { ops; _ } | Produce { ops; _ } | Hold { ops; _ }
+  | Trickle { ops; _ } ->
+      ops
   | Drain _ | Idle _ -> 0
 
 let op_count = function
-  | Mixed { ops; _ } | Produce { ops; _ } | Drain { ops } -> ops
+  | Mixed { ops; _ } | Produce { ops; _ } | Drain { ops } | Trickle { ops; _ }
+    ->
+      ops
   | Hold { ops; _ } -> 2 * ops
   | Idle _ -> 0
 
@@ -202,6 +213,24 @@ let run_phases ?(local_work = 20) ctx ops ~seq phases =
                 insert ~pri:((p + 1 + ctx.rand lag) mod ctx.npriorities)
             | None -> insert ~pri:(ctx.rand ctx.npriorities))
           done
+      | Trickle { ops = n; bias; skew; gap } ->
+          (* low-rate skewed traffic: each access preceded by gap ± 25%
+             extra local cycles (jittered, or processors that entered the
+             phase together stay phase-locked and their accesses arrive
+             in synchronized volleys), priorities Zipf-skewed (skew <= 0
+             = uniform) *)
+          let z = if skew > 0. then Some (Zipf.make ~n:ctx.npriorities ~s:skew) else None in
+          let pri () =
+            match z with
+            | Some z -> Zipf.sample z ~draw:ctx.rand
+            | None -> ctx.rand ctx.npriorities
+          in
+          for _ = 1 to n do
+            let jitter = if gap >= 4 then ctx.rand (gap / 2) - (gap / 4) else 0 in
+            ctx.work (local_work + gap + jitter);
+            if ctx.rand 100 < bias then insert ~pri:(pri ())
+            else ignore (ops.delete_min ())
+          done
       | Idle { cycles } -> ctx.work cycles)
     phases
 
@@ -225,6 +254,7 @@ type outcome = {
   aborted : exn option;
   check : (unit, string) result;
   npriorities : int;
+  stats : Stats.t;
 }
 
 let sssp_inf = max_int / 4
@@ -244,11 +274,18 @@ let params_of t ~nprocs ~npriorities ~ops_per_proc ~seed :
     funnel_cutoff = 4;
   }
 
+let phase_key i = "phase" ^ string_of_int i
+
 let run_sim ?probe ?policy ?watchdog ?machine ?(track = true)
-    ?(degrade = fun (_ : Mem.t) -> ()) ?(local_work = 20) ~queue ~nprocs
-    ~npriorities ~ops_per_proc ~seed t =
+    ?(degrade = fun (_ : Mem.t) -> ()) ?(local_work = 20) ?create
+    ?(phase_timing = false) ~queue ~nprocs ~npriorities ~ops_per_proc ~seed t =
   let npriorities = npriorities_for t ~default:npriorities in
   let params = params_of t ~nprocs ~npriorities ~ops_per_proc ~seed in
+  let create =
+    match create with
+    | Some f -> f
+    | None -> fun mem params -> Pqcore.Registry.create queue mem params
+  in
   let ins_n = Array.make nprocs 0 in
   let del_n = Array.make nprocs 0 in
   let empty_n = Array.make nprocs 0 in
@@ -318,7 +355,27 @@ let run_sim ?probe ?policy ?watchdog ?machine ?(track = true)
           done;
           Pqsync.Barrier.wait barrier
         end;
-        run_phases ~local_work ctx ops ~seq (role ~nprocs ~pid ~ops_per_proc)
+        let phases = role ~nprocs ~pid ~ops_per_proc in
+        if phase_timing then
+          (* per-phase latency series: wrap each phase's accesses in a
+             timed span keyed by phase index.  Record-only — adds no
+             simulated cost, so timed and untimed runs are cycle-
+             identical. *)
+          List.iteri
+            (fun i ph ->
+              let key = phase_key i in
+              let tops =
+                {
+                  insert =
+                    (fun ~pri ~payload ->
+                      Api.timed key (fun () -> ops.insert ~pri ~payload));
+                  delete_min =
+                    (fun () -> Api.timed key (fun () -> ops.delete_min ()));
+                }
+              in
+              run_phases ~local_work ctx tops ~seq [ ph ])
+            phases
+        else run_phases ~local_work ctx ops ~seq phases
     | Sssp _ ->
         let ops = noted_ops ~progress_on_empty:false q pid in
         let g, dist, outstanding =
@@ -371,7 +428,7 @@ let run_sim ?probe ?policy ?watchdog ?machine ?(track = true)
     Sim.run ?machine ?probe ?policy ?watchdog ~nprocs ~seed
       ~setup:(fun mem ->
         degrade mem;
-        let q = Pqcore.Registry.create queue mem params in
+        let q = create mem params in
         captured := Some (q, mem);
         let barrier = Pqsync.Barrier.create mem ~nprocs in
         (match graph with
@@ -390,13 +447,13 @@ let run_sim ?probe ?policy ?watchdog ?machine ?(track = true)
         (q, barrier))
       ~program ()
   in
-  let aborted, cycles, faulted =
+  let aborted, cycles, faulted, stats =
     match run () with
-    | _, r -> (None, r.Sim.cycles, r.Sim.faulted)
+    | _, r -> (None, r.Sim.cycles, r.Sim.faulted, r.Sim.stats)
     | exception
         ((Sim.Progress_failure _ | Sim.Deadlock _ | Sim.Cycle_limit _
          | Sim.Spin_limit _ | Failure _) as e) ->
-        (Some e, 0, [])
+        (Some e, 0, [], Stats.create ())
   in
   let leftover =
     match !captured with
@@ -458,4 +515,5 @@ let run_sim ?probe ?policy ?watchdog ?machine ?(track = true)
     aborted;
     check;
     npriorities;
+    stats;
   }

@@ -48,6 +48,13 @@ type phase =
           random lag in [1, lag] (mod the priority range); an empty pop
           repopulates at a uniform priority *)
   | Idle of { cycles : int }  (** local work only *)
+  | Trickle of { ops : int; bias : int; skew : float; gap : int }
+      (** low-rate traffic: the [Mixed] coin flip, but each access is
+          preceded by [gap] (± 25%, jittered so per-processor accesses
+          decorrelate instead of arriving in phase-locked volleys) extra
+          local-work cycles and insert priorities are Zipf-distributed
+          with exponent [skew] ([skew <= 0.] means uniform) — the
+          "skewed-low" regime of the adaptive workload *)
 
 type role = nprocs:int -> pid:int -> ops_per_proc:int -> phase list
 (** a scenario's phase list for one processor *)
@@ -71,6 +78,12 @@ val burst : t
 
 val sssp : ?nodes:int -> ?degree:int -> ?max_weight:int -> unit -> t
 (** concurrent Dijkstra (defaults: 24 nodes, degree 3, weights 1-8) *)
+
+val phased : name:string -> descr:string -> ?prefill_per_proc:int -> role -> t
+(** a custom phased scenario, outside the {!all} catalogue (and hence
+    outside the chaos matrix): how subsystems such as [Pqadapt] compose
+    bespoke workloads — e.g. the phase-shifted uniform-heavy →
+    skewed-low run — while reusing the interpreter, sizing and runner *)
 
 val all : t list
 (** [coinflip; hold; burst; sssp ()] *)
@@ -146,7 +159,14 @@ type outcome = {
           conservation + (SSSP) reference-distance equality; [Ok ()]
           when [aborted] — the caller judges aborts *)
   npriorities : int;  (** effective range after the scenario override *)
+  stats : Pqsim.Stats.t;
+      (** the run's recorded samples — per-phase latency under
+          [phase_timing] (keys {!phase_key}); empty when [aborted] *)
 }
+
+val phase_key : int -> string
+(** the {!outcome.stats} key of phase [i]'s access latencies
+    (["phase<i>"]) when [run_sim ~phase_timing:true] *)
 
 val run_sim :
   ?probe:Pqsim.Probe.t ->
@@ -156,6 +176,8 @@ val run_sim :
   ?track:bool ->
   ?degrade:(Pqsim.Mem.t -> unit) ->
   ?local_work:int ->
+  ?create:(Pqsim.Mem.t -> Pqcore.Pq_intf.params -> Pqcore.Pq_intf.t) ->
+  ?phase_timing:bool ->
   queue:string ->
   nprocs:int ->
   npriorities:int ->
@@ -169,4 +191,11 @@ val run_sim :
     rely on the streaming monitors, keeping host memory bounded by the
     live-element count.  Engine abort exceptions are caught and
     returned in [aborted] with the queue drained regardless, mirroring
-    {!Pqfault.Driver}. *)
+    {!Pqfault.Driver}.
+
+    [create] (default: {!Pqcore.Registry.create}[ queue]) overrides
+    queue construction — how non-registry queues such as the
+    [Pqadapt] meta-queue run the whole scenario algebra; [queue]
+    remains the reporting label.  [phase_timing] (default false)
+    records each access's latency under its phase's {!phase_key};
+    recording is free in simulated time, so timing changes no run. *)

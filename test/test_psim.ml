@@ -59,6 +59,106 @@ let test_machine_width () =
   check_int "mesh width" 16 m.Pqsim.Machine.mesh_width
 
 (* ------------------------------------------------------------------ *)
+(* Machine topology properties (socket / NUMA knobs).
+
+   [hops] is a metric on the mesh, [socket_of] a partition of the
+   processor range, and the default configuration (sockets = 1,
+   remote_hop_cost = hop_cost) must be bit-identical to the pre-socket
+   flat mesh — checked against an independent reimplementation of the
+   original distance. *)
+
+(* the flat-mesh distance as it was before sockets existed, kept as the
+   reference the default configuration must reproduce *)
+let reference_mesh_distance ~nprocs a b =
+  let rec width w = if w * w >= nprocs then w else width (w + 1) in
+  let w = width 1 in
+  let coords i =
+    let i = i mod (w * w) in
+    (i mod w, i / w)
+  in
+  let ax, ay = coords a and bx, by = coords b in
+  abs (ax - bx) + abs (by - ay)
+
+(* (nprocs, raw indices) — indices are reduced mod nprocs inside each
+   property so shrinking stays meaningful *)
+let topo_gen =
+  QCheck.(
+    pair (int_range 1 300) (triple (int_bound 10_000) (int_bound 10_000) (int_bound 10_000)))
+
+let test_machine_hops_symmetric =
+  QCheck.Test.make ~name:"hops is symmetric" ~count:300 topo_gen
+    (fun (nprocs, (a, b, _)) ->
+      (* default mem_modules = nprocs, so a line below nprocs is homed
+         at the like-numbered processor's node and the two directions
+         measure the same pair of grid points *)
+      let m = Pqsim.Machine.make ~nprocs () in
+      let a = a mod nprocs and b = b mod nprocs in
+      Pqsim.Machine.hops m ~proc:a ~line:b
+      = Pqsim.Machine.hops m ~proc:b ~line:a)
+
+let test_machine_hops_triangle =
+  QCheck.Test.make ~name:"hops satisfies the triangle inequality" ~count:300
+    topo_gen (fun (nprocs, (a, b, c)) ->
+      let m = Pqsim.Machine.make ~nprocs () in
+      let a = a mod nprocs and b = b mod nprocs and c = c mod nprocs in
+      let d x y = Pqsim.Machine.hops m ~proc:x ~line:y in
+      d a c <= d a b + d b c && d a a = 0)
+
+let test_machine_default_is_flat_mesh =
+  QCheck.Test.make
+    ~name:"default config is bit-identical to the pre-socket flat mesh"
+    ~count:300 topo_gen (fun (nprocs, (p, l, _)) ->
+      let m = Pqsim.Machine.make ~nprocs () in
+      let p = p mod nprocs in
+      Pqsim.Machine.hops m ~proc:p ~line:l
+      = reference_mesh_distance ~nprocs p (l mod nprocs)
+      && Pqsim.Machine.socket_of m p = 0
+      && Pqsim.Machine.same_socket m ~proc:p ~line:l
+      && Pqsim.Machine.hop_cost_of m ~proc:p ~line:l
+         = m.Pqsim.Machine.hop_cost)
+
+let test_machine_socket_partition =
+  QCheck.Test.make
+    ~name:"socket_of is a total, onto, contiguous, near-equal partition"
+    ~count:300
+    QCheck.(pair (int_range 1 300) (int_bound 10_000))
+    (fun (nprocs, s) ->
+      let sockets = 1 + (s mod nprocs) in
+      let m = Pqsim.Machine.make ~nprocs ~sockets () in
+      let socks =
+        List.init nprocs (fun i -> Pqsim.Machine.socket_of m i)
+      in
+      let in_range = List.for_all (fun s -> s >= 0 && s < sockets) socks in
+      let monotone =
+        List.for_all2 (fun a b -> a <= b)
+          (List.filteri (fun i _ -> i < nprocs - 1) socks)
+          (List.tl socks)
+      in
+      let sizes = Array.make sockets 0 in
+      List.iter (fun s -> sizes.(s) <- sizes.(s) + 1) socks;
+      let onto = Array.for_all (fun n -> n > 0) sizes in
+      let near_equal =
+        let mn = Array.fold_left min max_int sizes
+        and mx = Array.fold_left max 0 sizes in
+        mx - mn <= 1
+      in
+      in_range && monotone && onto && near_equal)
+
+let test_machine_hop_cost_split =
+  QCheck.Test.make
+    ~name:"hop_cost_of pays remote_hop_cost exactly across sockets"
+    ~count:300 topo_gen (fun (nprocs, (p, l, s)) ->
+      let sockets = 1 + (s mod nprocs) in
+      let m =
+        Pqsim.Machine.make ~nprocs ~sockets ~hop_cost:1 ~remote_hop_cost:7 ()
+      in
+      let p = p mod nprocs in
+      let expected =
+        if Pqsim.Machine.same_socket m ~proc:p ~line:l then 1 else 7
+      in
+      Pqsim.Machine.hop_cost_of m ~proc:p ~line:l = expected)
+
+(* ------------------------------------------------------------------ *)
 (* Evq *)
 
 let test_evq_order () =
@@ -429,6 +529,14 @@ let () =
           Alcotest.test_case "hops" `Quick test_machine_hops;
           Alcotest.test_case "mesh width" `Quick test_machine_width;
         ] );
+      qsuite "machine-props"
+        [
+          test_machine_hops_symmetric;
+          test_machine_hops_triangle;
+          test_machine_default_is_flat_mesh;
+          test_machine_socket_partition;
+          test_machine_hop_cost_split;
+        ];
       ( "evq",
         [
           Alcotest.test_case "time order" `Quick test_evq_order;

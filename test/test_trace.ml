@@ -167,6 +167,93 @@ let test_cas_counts () =
     (d.cas_failure_rate >= 0. && d.cas_failure_rate <= 1.)
 
 (* ------------------------------------------------------------------ *)
+(* windowed rates: the sample/window stream the adaptive classifier
+   consumes (Pqadapt.Classifier) *)
+
+let test_window_empty () =
+  (* equal samples — including the all-zero baseline — must yield zero
+     counts and 0.0 rates, never NaN *)
+  let open Pqtrace.Metrics in
+  List.iter
+    (fun s ->
+      let w = window ~prev:s ~cur:s in
+      check_int "no cas" 0 w.w_cas;
+      check_int "no acquires" 0 w.w_lock_acquires;
+      check_int "no traffic" 0 w.w_traffic;
+      Alcotest.(check (float 0.)) "cas rate" 0. w.w_cas_fail_rate;
+      Alcotest.(check (float 0.)) "wait mean" 0. w.w_lock_wait_mean;
+      Alcotest.(check (float 0.)) "remote share" 0. w.w_remote_share)
+    [
+      empty_sample;
+      {
+        s_cas_ok = 5;
+        s_cas_fail = 2;
+        s_lock_acquires = 9;
+        s_lock_wait_total = 140;
+        s_remote = 3;
+        s_local = 8;
+      };
+    ]
+
+let test_window_single_sample () =
+  (* one recorded event per signal: the window from the zero baseline
+     reports exactly that event, with well-defined means *)
+  let s = Pqsim.Stats.create () in
+  Pqsim.Stats.record s "lock.acquire" 1;
+  Pqsim.Stats.record s "lock.wait" 37;
+  Pqsim.Stats.record s "cas.fail" 1;
+  Pqsim.Stats.record s "mem.remote" 1;
+  let open Pqtrace.Metrics in
+  let w = window ~prev:empty_sample ~cur:(sample s) in
+  check_int "one cas attempt" 1 w.w_cas;
+  Alcotest.(check (float 0.)) "all cas failed" 1. w.w_cas_fail_rate;
+  check_int "one acquire" 1 w.w_lock_acquires;
+  Alcotest.(check (float 0.)) "wait mean is the sample" 37. w.w_lock_wait_mean;
+  check_int "one transaction" 1 w.w_traffic;
+  Alcotest.(check (float 0.)) "all remote" 1. w.w_remote_share
+
+let test_window_delta_only () =
+  (* a window reflects only what happened between its two samples, not
+     the cumulative history *)
+  let s = Pqsim.Stats.create () in
+  let count n key v =
+    for _ = 1 to n do
+      Pqsim.Stats.record s key v
+    done
+  in
+  count 6 "cas.ok" 1;
+  count 2 "cas.fail" 1;
+  count 4 "lock.acquire" 1;
+  Pqsim.Stats.record s "lock.wait" 100;
+  count 10 "mem.local" 1;
+  let open Pqtrace.Metrics in
+  let first = sample s in
+  count 1 "cas.ok" 1;
+  count 3 "cas.fail" 1;
+  count 2 "lock.acquire" 1;
+  Pqsim.Stats.record s "lock.wait" 60;
+  count 2 "mem.remote" 1;
+  count 2 "mem.local" 1;
+  let w = window ~prev:first ~cur:(sample s) in
+  check_int "cas delta" 4 w.w_cas;
+  Alcotest.(check (float 1e-9)) "fail rate of the delta" 0.75 w.w_cas_fail_rate;
+  check_int "acquire delta" 2 w.w_lock_acquires;
+  Alcotest.(check (float 1e-9)) "wait mean of the delta" 30. w.w_lock_wait_mean;
+  check_int "traffic delta" 4 w.w_traffic;
+  Alcotest.(check (float 1e-9)) "remote share of the delta" 0.5 w.w_remote_share
+
+let test_derive_empty_registry () =
+  (* derive on a registry with no samples: zero counts, 0.0 rates *)
+  let d = Pqtrace.Metrics.derive (Pqsim.Stats.create ()) in
+  let open Pqtrace.Metrics in
+  check_int "no cas" 0 (d.cas_ok + d.cas_fail);
+  check_int "no locks" 0 d.lock_acquires;
+  check_int "no traffic" 0 (d.remote_traffic + d.local_traffic);
+  Alcotest.(check (float 0.)) "cas rate" 0. d.cas_failure_rate;
+  Alcotest.(check (float 0.)) "wait mean" 0. d.lock_wait_mean;
+  Alcotest.(check (float 0.)) "remote share" 0. d.remote_share
+
+(* ------------------------------------------------------------------ *)
 (* Stats distribution summaries (p99, histogram, edge cases) *)
 
 let test_stats_percentiles () =
@@ -473,6 +560,14 @@ let () =
           Alcotest.test_case "combining tree ops" `Quick
             test_combtree_conservation;
           Alcotest.test_case "cas outcome counts" `Quick test_cas_counts;
+        ] );
+      ( "windows",
+        [
+          Alcotest.test_case "empty window" `Quick test_window_empty;
+          Alcotest.test_case "single sample" `Quick test_window_single_sample;
+          Alcotest.test_case "delta only" `Quick test_window_delta_only;
+          Alcotest.test_case "derive on empty registry" `Quick
+            test_derive_empty_registry;
         ] );
       ( "stats",
         [
