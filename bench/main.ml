@@ -187,6 +187,60 @@ let () =
           (Pqadapt.Driver.report_to_string r);
         Pqadapt.Driver.to_bench r)
   in
+  (* the lock-order audit: the `pqbench lockdep` verdict at a fixed
+     quick shape (like the rank/chaos/adapt sections, independent of
+     --scale so documents stay comparable) *)
+  let lockdep =
+    timed "lockdep" (fun () ->
+        let nprocs = 8 and npriorities = 16 and ops_per_proc = 24 in
+        let seeds = [ 42; 1; 7 ] in
+        let audits =
+          Pqbenchlib.Pool.map ~jobs
+            (fun q ->
+              Pqanalysis.Lockdep.audit_queue ~nprocs ~npriorities ~ops_per_proc
+                ~seeds ~queue:q ())
+            Pqanalysis.Lockdep.queues_all
+        in
+        let pass =
+          List.for_all
+            (fun (a : Pqanalysis.Lockdep.audit) ->
+              a.violations = [] && a.aborted = [])
+            audits
+        in
+        Printf.printf "\nLock-order audit (quick): %s\n"
+          (if pass then "pass" else "FAIL");
+        List.iter
+          (fun (a : Pqanalysis.Lockdep.audit) ->
+            Printf.printf "  %-20s locks %2d edges %3d cycles %d discipline %d\n"
+              a.queue
+              (List.length a.analysis.Pqanalysis.Lockdep.locks)
+              (List.length a.analysis.Pqanalysis.Lockdep.edges)
+              (List.length a.cycles)
+              (List.length a.analysis.Pqanalysis.Lockdep.disc))
+          audits;
+        {
+          Pqtrace.Bench_out.lockdep_nprocs = nprocs;
+          lockdep_npriorities = npriorities;
+          lockdep_ops_per_proc = ops_per_proc;
+          lockdep_seeds = seeds;
+          lockdep_pass = pass;
+          lockdep_queues =
+            List.map
+              (fun (a : Pqanalysis.Lockdep.audit) ->
+                {
+                  Pqtrace.Bench_out.ld_queue = a.queue;
+                  ld_events = a.analysis.Pqanalysis.Lockdep.events_seen;
+                  ld_try_fails = a.analysis.Pqanalysis.Lockdep.try_fails;
+                  ld_locks = List.length a.analysis.Pqanalysis.Lockdep.locks;
+                  ld_edges = List.length a.analysis.Pqanalysis.Lockdep.edges;
+                  ld_cycles = List.length a.cycles;
+                  ld_discipline =
+                    List.length a.analysis.Pqanalysis.Lockdep.disc;
+                  ld_violations = List.length a.violations;
+                })
+              audits;
+        })
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let r3 x = Float.round (x *. 1000.) /. 1000. in
   let baseline_wall_s =
@@ -209,7 +263,7 @@ let () =
   let doc =
     Pqtrace.Bench_out.make ~seed:42
       ~scale:(if quick then "quick" else "full")
-      ~metrics ~rank ~chaos ~adapt ~harness figures
+      ~metrics ~rank ~chaos ~adapt ~lockdep ~harness figures
   in
   let text = Pqtrace.Bench_out.to_string doc in
   (match Pqtrace.Bench_out.validate_string text with

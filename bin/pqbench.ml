@@ -524,6 +524,138 @@ let races_cmd =
         $ Terms.ops ~default:40 $ Terms.seed $ no_adversarial $ report
         $ Terms.jobs))
 
+let lockdep_cmd =
+  let seeds =
+    Arg.(
+      value & opt string "42,1,7"
+      & info [ "seeds" ] ~docv:"S1,S2,.."
+          ~doc:"Comma-separated workload seeds, each run under every schedule.")
+  in
+  let no_adversarial =
+    Arg.(
+      value & flag
+      & info [ "no-adversarial" ]
+          ~doc:"Audit only the default schedule (skip pqexplore policies).")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Also write the audit to $(docv).")
+  in
+  let parse_seeds s =
+    try
+      Ok
+        (String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+        |> List.map int_of_string)
+    with Failure _ -> Error (Printf.sprintf "bad --seeds %S" s)
+  in
+  (* unlike the other gates, "all" here means every queue the analyzer
+     audits: the paper's seven, the relaxed family and the meta-queue *)
+  let resolve name =
+    if name = "all" then Ok Pqanalysis.Lockdep.queues_all
+    else if List.mem name Pqanalysis.Lockdep.queues_all then Ok [ name ]
+    else Error (Printf.sprintf "unknown queue %S; try `pqbench list'" name)
+  in
+  let run queue procs priorities ops seeds no_adversarial report jobs =
+    match (resolve queue, parse_seeds seeds) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok queues, Ok seeds ->
+        (* per-queue audits are independent deterministic runs: fan out
+           across domains, merge in queue order — byte-identical for any
+           --jobs.  A run that hangs IS a finding (a manifested deadlock
+           outranks a potential one), so engine aborts are caught both
+           inside audit_queue (per run) and here (construction). *)
+        let audits =
+          Pqbenchlib.Pool.map ~jobs
+            (fun q ->
+              ( q,
+                try
+                  Ok
+                    (Pqanalysis.Lockdep.audit_queue ~nprocs:procs
+                       ~npriorities:priorities ~ops_per_proc:ops ~seeds
+                       ~adversarial:(not no_adversarial) ~queue:q ())
+                with
+                | ( Pqsim.Sim.Deadlock _ | Pqsim.Sim.Progress_failure _
+                  | Pqbenchlib.Workload.Verification_failure _
+                  | Pqsim.Sim.Spin_limit _ ) as e ->
+                  Error (Printexc.to_string e) ))
+            queues
+        in
+        let buf = Buffer.create 4096 in
+        let ppf = Format.formatter_of_buffer buf in
+        List.iter
+          (fun (q, a) ->
+            match a with
+            | Ok a -> Format.fprintf ppf "%a@." Pqanalysis.Lockdep.pp_audit a
+            | Error e ->
+                Format.fprintf ppf
+                  "== %s: AUDIT ABORTED — a schedule failed to complete@,   \
+                   %s@.@."
+                  q e)
+          audits;
+        Format.fprintf ppf "@[<v>%-22s %8s %6s %6s %7s %11s %10s@," "queue"
+          "events" "locks" "edges" "cycles" "discipline" "violations";
+        List.iter
+          (fun (q, a) ->
+            match a with
+            | Ok (a : Pqanalysis.Lockdep.audit) ->
+                Format.fprintf ppf "%-22s %8d %6d %6d %7d %11d %10d@," a.queue
+                  a.analysis.Pqanalysis.Lockdep.events_seen
+                  (List.length a.analysis.Pqanalysis.Lockdep.locks)
+                  (List.length a.analysis.Pqanalysis.Lockdep.edges)
+                  (List.length a.cycles)
+                  (List.length a.analysis.Pqanalysis.Lockdep.disc)
+                  (List.length a.violations)
+            | Error _ -> Format.fprintf ppf "%-22s %8s@," q "ABORTED")
+          audits;
+        Format.fprintf ppf "@]@.";
+        Format.pp_print_flush ppf ();
+        print_string (Buffer.contents buf);
+        (match report with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Buffer.contents buf);
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+        | None -> ());
+        let bad =
+          List.filter_map
+            (fun (q, a) ->
+              match a with
+              | Ok (a : Pqanalysis.Lockdep.audit) ->
+                  if a.violations <> [] || a.aborted <> [] then Some q else None
+              | Error _ -> Some q)
+            audits
+        in
+        if bad = [] then `Ok ()
+        else
+          `Error
+            ( false,
+              "lock-order cycles, discipline violations or aborted audits in: "
+              ^ String.concat ", " bad )
+  in
+  Cmd.v
+    (Cmd.info "lockdep"
+       ~doc:
+         "Audit every queue's locking: infer the lock-order graph from \
+          probe notes across seeds and adversarial schedules, report \
+          potential deadlock cycles (even when no schedule hung) and \
+          lock-discipline violations (double release, release without \
+          hold, locks held at quiescence); any finding outside the \
+          (empty) allowlist fails the command.")
+    Term.(
+      ret
+        (const run
+        $ Terms.queue ~default:"all"
+            ~doc:
+              "Queue algorithm, or $(b,all) for every audited queue \
+               (paper + relaxed + Adaptive)."
+        $ Terms.procs ~default:8 $ Terms.priorities ~default:16
+        $ Terms.ops ~default:24 $ seeds $ no_adversarial $ report $ Terms.jobs))
+
 let rank_cmd =
   let seeds =
     Arg.(
@@ -1010,6 +1142,6 @@ let () =
           (Cmd.info "pqbench" ~doc)
           [
             list_cmd; run_cmd; bench_cmd; profile_cmd; trace_cmd; validate_cmd;
-            explore_cmd; faults_cmd; races_cmd; rank_cmd; chaos_cmd; adapt_cmd;
-            lint_cmd;
+            explore_cmd; faults_cmd; races_cmd; lockdep_cmd; rank_cmd;
+            chaos_cmd; adapt_cmd; lint_cmd;
           ]))

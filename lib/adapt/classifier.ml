@@ -6,10 +6,6 @@ type regime = Light | Heavy
 
 let regime_name = function Light -> "light" | Heavy -> "heavy"
 
-(* PQADAPT_DEBUG=1 traces every decision window to stderr — host-side
-   and never part of any report, so it cannot perturb a run *)
-let debug = Sys.getenv_opt "PQADAPT_DEBUG" <> None
-
 type vote = For_light | For_heavy | Abstain
 
 type config = {
@@ -155,13 +151,6 @@ let observe t ~stats ~now ~ops =
       | For_light -> Some Light
       | Abstain -> None
     in
-    if debug then
-      Printf.eprintf
-        "[clf] now=%d rate=%.2f cas=%d fail=%.2f lk=%d wrate=%.1f \
-         vote=%s regime=%s streak=%d\n%!"
-        now rate w.w_cas w.w_cas_fail_rate w.w_lock_acquires wait_rate
-        (match vote with For_heavy -> "H" | For_light -> "L" | Abstain -> "-")
-        (regime_name t.regime) t.streak;
     (match target with
     | Some r when r <> t.regime ->
         t.streak <- t.streak + 1;

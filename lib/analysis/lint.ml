@@ -270,7 +270,7 @@ let load_allow path =
 let default_dirs =
   [
     "lib/core"; "lib/sync"; "lib/funnel"; "lib/structures"; "lib/counters";
-    "lib/relaxed";
+    "lib/relaxed"; "lib/adapt";
   ]
 
 let read_file path =

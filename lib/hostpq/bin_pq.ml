@@ -1,23 +1,27 @@
 let name = "bin-pq"
 
-type 'a bin = { lock : Mutex.t; mutable items : 'a list; size : int Atomic.t }
+type 'a bin = { lock : Hlock.t; mutable items : 'a list; size : int Atomic.t }
 type 'a t = { bins : 'a bin array }
 
 let create ~npriorities () =
   if npriorities <= 0 then invalid_arg "Bin_pq.create";
   {
     bins =
-      Array.init npriorities (fun _ ->
-          { lock = Mutex.create (); items = []; size = Atomic.make 0 });
+      Array.init npriorities (fun i ->
+          {
+            lock = Hlock.create ~name:(Printf.sprintf "%s.bin[%d]" name i) ();
+            items = [];
+            size = Atomic.make 0;
+          });
   }
 
 let insert t ~pri v =
   if pri < 0 || pri >= Array.length t.bins then invalid_arg "Bin_pq.insert";
   let b = t.bins.(pri) in
-  Mutex.lock b.lock;
+  Hlock.lock b.lock;
   b.items <- v :: b.items;
   Atomic.incr b.size;
-  Mutex.unlock b.lock
+  Hlock.unlock b.lock
 
 let delete_min t =
   let n = Array.length t.bins in
@@ -27,15 +31,15 @@ let delete_min t =
       let b = t.bins.(i) in
       if Atomic.get b.size = 0 then scan (i + 1)
       else begin
-        Mutex.lock b.lock;
+        Hlock.lock b.lock;
         match b.items with
         | v :: rest ->
             b.items <- rest;
             Atomic.decr b.size;
-            Mutex.unlock b.lock;
+            Hlock.unlock b.lock;
             Some (i, v)
         | [] ->
-            Mutex.unlock b.lock;
+            Hlock.unlock b.lock;
             scan (i + 1)
       end
   in

@@ -1,0 +1,83 @@
+(* A Mutex wrapper that mirrors the simulator's lock-note protocol on
+   real hardware, so host-queue lock traces feed the same analyzer. *)
+
+(* Tag values pinned to Pqsim.Probe.Lock_tag by a unit test; hostpq
+   deliberately depends on nothing, so they are restated here. *)
+let tag_acquire = 32
+let tag_release = 33
+let tag_try_fail = 34
+
+type t = { mutex : Mutex.t; id : int; name : string option }
+
+type tracer = {
+  trace : proc:int -> time:int -> tag:int -> a:int -> b:int -> unit;
+}
+
+(* Registry state: ids are creation-ordered; names resolve ids back to
+   symbols for the analyzer.  Guarded by [reg_lock] — creation usually
+   precedes domain spawn, but nothing enforces that. *)
+let reg_lock = Mutex.create ()
+let next_id = ref 1
+let names : (int, string) Hashtbl.t = Hashtbl.create 16
+
+let create ?name () =
+  Mutex.lock reg_lock;
+  let id = !next_id in
+  next_id := id + 1;
+  (match name with Some n -> Hashtbl.replace names id n | None -> ());
+  Mutex.unlock reg_lock;
+  { mutex = Mutex.create (); id; name }
+
+let id t = t.id
+let name t = t.name
+
+let label_of id =
+  Mutex.lock reg_lock;
+  let n = Hashtbl.find_opt names id in
+  Mutex.unlock reg_lock;
+  n
+
+(* The tracer is global and off by default: untraced operations pay one
+   load.  Emission is serialized under [trace_lock] with a shared tick,
+   so events reach the consumer in a total order consistent with each
+   domain's program order — the analyzer's stream assumption — and the
+   consumer needs no synchronization of its own.  Tracing perturbs
+   timing (it is a verification mode, not a benchmark mode). *)
+let tracer : tracer option ref = ref None
+let trace_lock = Mutex.create ()
+let ticks = ref 0
+
+let set_tracer t =
+  Mutex.lock trace_lock;
+  tracer := t;
+  ticks := 0;
+  Mutex.unlock trace_lock
+
+let emit t tag b =
+  match !tracer with
+  | None -> ()
+  | Some _ ->
+      Mutex.lock trace_lock;
+      (match !tracer with
+      | Some { trace } ->
+          let time = !ticks in
+          ticks := time + 1;
+          trace ~proc:(Domain.self () :> int) ~time ~tag ~a:t.id ~b
+      | None -> ());
+      Mutex.unlock trace_lock
+
+let lock t =
+  if Mutex.try_lock t.mutex then emit t tag_acquire 0
+  else begin
+    Mutex.lock t.mutex;
+    emit t tag_acquire 1
+  end
+
+let try_lock t =
+  let ok = Mutex.try_lock t.mutex in
+  if ok then emit t tag_acquire 0 else emit t tag_try_fail 0;
+  ok
+
+let unlock t =
+  emit t tag_release 0;
+  Mutex.unlock t.mutex

@@ -1,7 +1,7 @@
 let name = "locked-heap"
 
 type 'a t = {
-  lock : Mutex.t;
+  lock : Hlock.t;
   mutable keys : int array;
   mutable vals : 'a option array;
   mutable size : int;
@@ -11,7 +11,7 @@ type 'a t = {
 let create ~npriorities () =
   if npriorities <= 0 then invalid_arg "Locked_heap.create";
   {
-    lock = Mutex.create ();
+    lock = Hlock.create ~name:(name ^ ".lock") ();
     keys = Array.make 16 0;
     vals = Array.make 16 None;
     size = 0;
@@ -28,7 +28,7 @@ let grow t =
 
 let insert t ~pri v =
   if pri < 0 || pri >= t.npriorities then invalid_arg "Locked_heap.insert";
-  Mutex.lock t.lock;
+  Hlock.lock t.lock;
   if t.size = Array.length t.keys then grow t;
   (* sift up *)
   let rec up i =
@@ -46,10 +46,10 @@ let insert t ~pri v =
   t.size <- t.size + 1;
   t.keys.(i) <- pri;
   t.vals.(i) <- Some v;
-  Mutex.unlock t.lock
+  Hlock.unlock t.lock
 
 let delete_min t =
-  Mutex.lock t.lock;
+  Hlock.lock t.lock;
   let r =
     if t.size = 0 then None
     else begin
@@ -81,11 +81,11 @@ let delete_min t =
       | None -> assert false
     end
   in
-  Mutex.unlock t.lock;
+  Hlock.unlock t.lock;
   r
 
 let length t =
-  Mutex.lock t.lock;
+  Hlock.lock t.lock;
   let n = t.size in
-  Mutex.unlock t.lock;
+  Hlock.unlock t.lock;
   n

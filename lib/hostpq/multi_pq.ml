@@ -1,9 +1,9 @@
 let name = "multiqueue"
 
-(* one slot: a sequential binary min-heap behind a Mutex, its minimum
+(* one slot: a sequential binary min-heap behind an Hlock, its minimum
    published in an Atomic for lock-free pick-2 comparison *)
 type 'a slot = {
-  lock : Mutex.t;
+  lock : Hlock.t;
   top : int Atomic.t;  (* min priority present, or max_int *)
   mutable keys : int array;
   mutable vals : 'a option array;
@@ -18,9 +18,9 @@ type 'a t = {
 
 let slots t = Array.length t.slot_arr
 
-let make_slot () =
+let make_slot i =
   {
-    lock = Mutex.create ();
+    lock = Hlock.create ~name:(Printf.sprintf "%s.slot[%d]" name i) ();
     top = Atomic.make max_int;
     keys = Array.make 16 0;
     vals = Array.make 16 None;
@@ -30,7 +30,7 @@ let make_slot () =
 let create_sized ~npriorities ~slots () =
   if npriorities <= 0 || slots <= 0 then invalid_arg "Multi_pq.create_sized";
   {
-    slot_arr = Array.init slots (fun _ -> make_slot ());
+    slot_arr = Array.init slots make_slot;
     npriorities;
     ticket = Atomic.make 0;
   }
@@ -115,15 +115,15 @@ let insert t ~pri v =
   let retry = Retry.start "Multi_pq.insert" in
   let rec go n =
     let s = t.slot_arr.(pick t) in
-    if Mutex.try_lock s.lock then begin
+    if Hlock.try_lock s.lock then begin
       heap_insert s ~pri v;
-      Mutex.unlock s.lock
+      Hlock.unlock s.lock
     end
     else if n >= pick_attempts then begin
       (* contended enough that waiting beats re-picking *)
-      Mutex.lock s.lock;
+      Hlock.lock s.lock;
       heap_insert s ~pri v;
-      Mutex.unlock s.lock
+      Hlock.unlock s.lock
     end
     else begin
       Retry.once retry;
@@ -145,9 +145,9 @@ let delete_min t =
         let s = t.slot_arr.((start + i) mod nslots) in
         if Atomic.get s.top = max_int then go (i + 1)
         else begin
-          Mutex.lock s.lock;
+          Hlock.lock s.lock;
           let r = heap_extract s in
-          Mutex.unlock s.lock;
+          Hlock.unlock s.lock;
           match r with Some _ -> r | None -> go (i + 1)
         end
       end
@@ -165,9 +165,9 @@ let delete_min t =
       end
       else begin
         let s = if ta <= tb then a else b in
-        if Mutex.try_lock s.lock then begin
+        if Hlock.try_lock s.lock then begin
           let r = heap_extract s in
-          Mutex.unlock s.lock;
+          Hlock.unlock s.lock;
           match r with
           | Some _ -> r
           | None ->
@@ -186,8 +186,8 @@ let delete_min t =
 let length t =
   Array.fold_left
     (fun acc s ->
-      Mutex.lock s.lock;
+      Hlock.lock s.lock;
       let n = s.size in
-      Mutex.unlock s.lock;
+      Hlock.unlock s.lock;
       acc + n)
     0 t.slot_arr

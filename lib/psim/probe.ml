@@ -17,6 +17,16 @@ type ev =
   | Mark of { name : string; arg : int }
   | Span of { name : string; start : int }
 
+(* Tags of the lock-event note protocol (Api.note) emitted by the
+   Pqsync locks.  Offset well above the workload op-note tags (1..7,
+   Pqbenchlib.Scenario.Tag) so the two vocabularies share the one note
+   channel; any consumer dispatching on tags must ignore unknown ones. *)
+module Lock_tag = struct
+  let acquire = 32
+  let release = 33
+  let try_fail = 34
+end
+
 type sink = { emit : proc:int -> time:int -> ev -> unit }
 
 type note = { note : proc:int -> time:int -> tag:int -> a:int -> b:int -> unit }

@@ -36,6 +36,27 @@ type ev =
   | Mark of { name : string; arg : int }
   | Span of { name : string; start : int }
 
+(** Tags of the lock-event note protocol emitted on the {!note} channel
+    by the [Pqsync] locks (and mirrored by the hostpq [Hlock] wrapper
+    for host-side traces).  For every event, operand [a] is the lock's
+    identity — the declare_sync'd lock word's address, symbolic via
+    {!Mem.name_of} — and [b] is 1 when the acquisition was contended
+    (observed a holder / joined a non-empty queue), else 0.
+
+    [acquire] is emitted {e after} ownership is obtained, [release] at
+    the start of the release (still owning), [try_fail] on a failed
+    non-blocking attempt — which therefore never implies ownership, the
+    distinction the lock-order analyzer ({!Pqanalysis.Lockdep}) relies
+    on.  The namespace is disjoint from the workload op-note tags
+    (1..7, [Pqbenchlib.Scenario.Tag]): the two protocols share the one
+    allocation-free channel, so any note consumer dispatching on tags
+    must ignore tags it does not know. *)
+module Lock_tag : sig
+  val acquire : int
+  val release : int
+  val try_fail : int
+end
+
 type sink = { emit : proc:int -> time:int -> ev -> unit }
 
 type note = { note : proc:int -> time:int -> tag:int -> a:int -> b:int -> unit }

@@ -17,6 +17,8 @@ let create ?name mem ~nprocs =
   Mem.declare_sync mem ~addr:tail ~len:(words ~nprocs);
   { tail; nodes = tail + 1; acq_at = Array.make nprocs 0 }
 
+let id t = t.tail
+
 let node t pid = t.nodes + (2 * pid)
 let locked_of node = node
 let next_of node = node + 1
@@ -37,6 +39,7 @@ let acquire t =
     Api.count "lock.acquire" 1;
     Api.count "lock.wait" (acquired - t0);
     if pred <> 0 then Api.count "lock.contend" 1;
+    Api.note Probe.Lock_tag.acquire t.tail (if pred <> 0 then 1 else 0);
     t.acq_at.(Api.self ()) <- acquired
   end
 
@@ -44,17 +47,26 @@ let try_acquire t =
   let me = node t (Api.self ()) in
   Api.write (next_of me) 0;
   let ok = Api.cas t.tail ~expected:0 ~desired:me in
-  (if ok && Api.probing () then begin
-     Api.count "lock.acquire" 1;
-     Api.count "lock.wait" 0;
-     t.acq_at.(Api.self ()) <- Api.now ()
-   end);
+  (if Api.probing () then
+     if ok then begin
+       Api.count "lock.acquire" 1;
+       Api.count "lock.wait" 0;
+       Api.note Probe.Lock_tag.acquire t.tail 0;
+       t.acq_at.(Api.self ()) <- Api.now ()
+     end
+     else begin
+       (* the CAS observed a non-empty queue: same contention event the
+          blocking path counts, same key, so rates stay commensurable *)
+       Api.count "lock.contend" 1;
+       Api.note Probe.Lock_tag.try_fail t.tail 0
+     end);
   ok
 
 let release t =
   (if Api.probing () then begin
      Api.count "lock.release" 1;
-     Api.count "lock.hold" (Api.now () - t.acq_at.(Api.self ()))
+     Api.count "lock.hold" (Api.now () - t.acq_at.(Api.self ()));
+     Api.note Probe.Lock_tag.release t.tail 0
    end);
   let me = node t (Api.self ()) in
   let succ = Api.read (next_of me) in

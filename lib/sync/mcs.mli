@@ -5,17 +5,36 @@
     swap on the tail word and then spins on a flag in its {e own} node, so
     under contention each waiter spins on a distinct cache line and lock
     hand-off causes a single remote write.  One queue node per processor is
-    pre-allocated per lock at creation. *)
+    pre-allocated per lock at creation.
+
+    {2 Probe protocol}
+
+    Under a probe, acquire/release report the same [lock.*] metric keys
+    as {!Tas} (the vocabulary is shared so contention rates compare
+    across lock types): [lock.acquire], [lock.release], [lock.wait]
+    (cycles from call to ownership), [lock.hold] (cycles held) and
+    [lock.contend] — counted once per blocking acquire that arrived to
+    a non-empty queue {e and} once per failed {!try_acquire} (whose CAS
+    observed a non-empty queue).
+
+    Each ownership transition additionally emits a
+    {!Pqsim.Probe.Lock_tag} note carrying the lock's identity
+    ({!id} = the declare_sync'd tail word, labelled [name.tail]):
+    [acquire] after ownership (operand [b] 1 when queued behind a
+    predecessor), [release] at the start of the release, [try_fail] on
+    a failed {!try_acquire}.  Notes and counts are free and absent when
+    unprobed; probed runs stay bit-identical. *)
 
 type t
 
 val create : ?name:string -> Pqsim.Mem.t -> nprocs:int -> t
 (** [?name] registers symbolic labels ([name.tail], [name.nodes]) for the
-    lock's words with {!Pqsim.Mem.label}, so the contention profiler can
-    attribute them.  Under a probe, acquire/release report the metrics
-    [lock.acquire], [lock.release], [lock.contend] (arrived to a
-    non-empty queue), [lock.wait] (cycles from call to ownership) and
-    [lock.hold] (cycles held). *)
+    lock's words with {!Pqsim.Mem.label}, so the contention profiler and
+    the lock-order analyzer can attribute them.  See the probe protocol
+    above for the [lock.*] metrics and notes reported under a probe. *)
+
+val id : t -> int
+(** the lock's identity in probe notes: the address of its tail word *)
 
 val acquire : t -> unit
 (** must be called from processor context; the caller's node is selected by

@@ -13,15 +13,26 @@ let create ?name mem =
   Mem.declare_sync mem ~addr:word ~len:1;
   { word; acq_at = Array.make (Mem.machine mem).Machine.nprocs 0 }
 
+let id t = t.word
+
 let try_raw t = Api.cas t.word ~expected:0 ~desired:1
 
 let try_acquire t =
   let ok = try_raw t in
-  (if ok && Api.probing () then begin
-     Api.count "lock.acquire" 1;
-     Api.count "lock.wait" 0;
-     t.acq_at.(Api.self ()) <- Api.now ()
-   end);
+  (if Api.probing () then
+     if ok then begin
+       Api.count "lock.acquire" 1;
+       Api.count "lock.wait" 0;
+       Api.note Probe.Lock_tag.acquire t.word 0;
+       t.acq_at.(Api.self ()) <- Api.now ()
+     end
+     else begin
+       (* the CAS observed the word held: a contention event, counted
+          under the same key the blocking path uses so try-lock and
+          queue-lock contention rates are commensurable *)
+       Api.count "lock.contend" 1;
+       Api.note Probe.Lock_tag.try_fail t.word 0
+     end);
   ok
 
 let acquire t =
@@ -44,13 +55,15 @@ let acquire t =
     Api.count "lock.acquire" 1;
     Api.count "lock.wait" (acquired - t0);
     if !contended then Api.count "lock.contend" 1;
+    Api.note Probe.Lock_tag.acquire t.word (if !contended then 1 else 0);
     t.acq_at.(Api.self ()) <- acquired
   end
 
 let release t =
   (if Api.probing () then begin
      Api.count "lock.release" 1;
-     Api.count "lock.hold" (Api.now () - t.acq_at.(Api.self ()))
+     Api.count "lock.hold" (Api.now () - t.acq_at.(Api.self ()));
+     Api.note Probe.Lock_tag.release t.word 0
    end);
   Api.write t.word 0
 

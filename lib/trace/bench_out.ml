@@ -101,6 +101,26 @@ type adapt = {
   adapt_switches : adapt_switch list;
 }
 
+type lockdep_queue = {
+  ld_queue : string;
+  ld_events : int;
+  ld_try_fails : int;
+  ld_locks : int;
+  ld_edges : int;
+  ld_cycles : int;
+  ld_discipline : int;
+  ld_violations : int;
+}
+
+type lockdep = {
+  lockdep_nprocs : int;
+  lockdep_npriorities : int;
+  lockdep_ops_per_proc : int;
+  lockdep_seeds : int list;
+  lockdep_pass : bool;
+  lockdep_queues : lockdep_queue list;
+}
+
 type t = {
   paper : string;
   seed : int;
@@ -110,12 +130,13 @@ type t = {
   rank : rank option; (* rank-error verification results (pqbench rank) *)
   chaos : chaos option; (* chaos-matrix verdicts (pqbench chaos) *)
   adapt : adapt option; (* adaptive meta-queue gate (pqbench adapt) *)
+  lockdep : lockdep option; (* lock-order audit (pqbench lockdep) *)
   harness : harness option; (* wall-clock measurements: the one run-dependent section *)
 }
 
 let make ?(paper = "shavit-zemach-podc99") ?(metrics = []) ?rank ?chaos ?adapt
-    ?harness ~seed ~scale figures =
-  { paper; seed; scale; figures; metrics; rank; chaos; adapt; harness }
+    ?lockdep ?harness ~seed ~scale figures =
+  { paper; seed; scale; figures; metrics; rank; chaos; adapt; lockdep; harness }
 
 let series_to_json s =
   Json.Obj
@@ -256,6 +277,30 @@ let adapt_to_json a =
       ("switches", Json.List (List.map adapt_switch_to_json a.adapt_switches));
     ]
 
+let lockdep_queue_to_json q =
+  Json.Obj
+    [
+      ("queue", Json.String q.ld_queue);
+      ("events", Json.Int q.ld_events);
+      ("try_fails", Json.Int q.ld_try_fails);
+      ("locks", Json.Int q.ld_locks);
+      ("edges", Json.Int q.ld_edges);
+      ("cycles", Json.Int q.ld_cycles);
+      ("discipline", Json.Int q.ld_discipline);
+      ("violations", Json.Int q.ld_violations);
+    ]
+
+let lockdep_to_json l =
+  Json.Obj
+    [
+      ("nprocs", Json.Int l.lockdep_nprocs);
+      ("npriorities", Json.Int l.lockdep_npriorities);
+      ("ops_per_proc", Json.Int l.lockdep_ops_per_proc);
+      ("seeds", Json.List (List.map (fun s -> Json.Int s) l.lockdep_seeds));
+      ("pass", Json.Bool l.lockdep_pass);
+      ("queues", Json.List (List.map lockdep_queue_to_json l.lockdep_queues));
+    ]
+
 let to_json t =
   Json.Obj
     ([
@@ -274,6 +319,9 @@ let to_json t =
       | None -> [])
     @ (match t.adapt with
       | Some a -> [ ("adapt", adapt_to_json a) ]
+      | None -> [])
+    @ (match t.lockdep with
+      | Some l -> [ ("lockdep", lockdep_to_json l) ]
       | None -> [])
     @
     match t.harness with
@@ -518,6 +566,55 @@ let validate_adapt ctx j =
           Error (ctx ^ ": pass flag contradicts the recorded phases/switches")
         else Ok ()
 
+let validate_lockdep_queue ctx j =
+  let* queue = v_string ctx "queue" j in
+  let ctx = Printf.sprintf "%s(%s)" ctx queue in
+  let* events = v_int ctx "events" j in
+  let* try_fails = v_int ctx "try_fails" j in
+  let* locks = v_int ctx "locks" j in
+  let* edges = v_int ctx "edges" j in
+  let* cycles = v_int ctx "cycles" j in
+  let* discipline = v_int ctx "discipline" j in
+  let* violations = v_int ctx "violations" j in
+  if
+    events < 0 || try_fails < 0 || locks < 0 || edges < 0 || cycles < 0
+    || discipline < 0 || violations < 0
+  then Error (ctx ^ ": negative count")
+  else if try_fails > events then Error (ctx ^ ": try_fails exceed events")
+  else if violations > cycles + discipline then
+    Error (ctx ^ ": more violations than findings")
+  else Ok ()
+
+let validate_lockdep ctx j =
+  let* nprocs = v_int ctx "nprocs" j in
+  if nprocs < 1 then Error (ctx ^ ": nprocs must be >= 1")
+  else
+    let* _ = v_int ctx "npriorities" j in
+    let* _ = v_int ctx "ops_per_proc" j in
+    let* seeds = v_list ctx "seeds" j in
+    if seeds = [] then Error (ctx ^ ": empty seeds list")
+    else if not (List.for_all (fun s -> Json.to_int s <> None) seeds) then
+      Error (ctx ^ ": non-integer seed")
+    else
+      let* pass = v_bool ctx "pass" j in
+      let* queues = v_list ctx "queues" j in
+      if queues = [] then Error (ctx ^ ": empty queues list")
+      else
+        let* () = all (ctx ^ ".queues") validate_lockdep_queue 0 queues in
+        (* the gate's own consistency, one-sided like adapt's: a recorded
+           pass must not coexist with recorded violations *)
+        let violated =
+          List.exists
+            (fun q ->
+              match Option.bind (Json.member "violations" q) Json.to_int with
+              | Some v -> v > 0
+              | None -> false)
+            queues
+        in
+        if pass && violated then
+          Error (ctx ^ ": pass flag contradicts the recorded violations")
+        else Ok ()
+
 let validate_rank ctx j =
   let* nprocs = v_int ctx "nprocs" j in
   if nprocs < 1 then Error (ctx ^ ": nprocs must be >= 1")
@@ -557,6 +654,11 @@ let validate j =
         match Json.member "adapt" j with
         | None -> Ok ()
         | Some a -> validate_adapt (ctx ^ ".adapt") a
+      in
+      let* () =
+        match Json.member "lockdep" j with
+        | None -> Ok ()
+        | Some l -> validate_lockdep (ctx ^ ".lockdep") l
       in
       (match Json.member "harness" j with
       | None -> Ok ()

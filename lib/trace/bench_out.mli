@@ -131,6 +131,29 @@ type adapt = {
     [Pqadapt.Driver]): deterministic per seed, so it participates in
     byte-stability comparisons *)
 
+type lockdep_queue = {
+  ld_queue : string;
+  ld_events : int;  (** lock notes consumed across all runs *)
+  ld_try_fails : int;
+  ld_locks : int;  (** lock-order graph nodes *)
+  ld_edges : int;
+  ld_cycles : int;  (** potential-deadlock cycles *)
+  ld_discipline : int;  (** discipline findings (double release etc.) *)
+  ld_violations : int;  (** findings outside the allowlist *)
+}
+
+type lockdep = {
+  lockdep_nprocs : int;
+  lockdep_npriorities : int;
+  lockdep_ops_per_proc : int;
+  lockdep_seeds : int list;
+  lockdep_pass : bool;  (** no queue has violations or aborted runs *)
+  lockdep_queues : lockdep_queue list;
+}
+(** the lock-order audit section (pqbench lockdep /
+    [Pqanalysis.Lockdep]): deterministic per seed, so it participates
+    in byte-stability comparisons *)
+
 type t = {
   paper : string;
   seed : int;
@@ -140,6 +163,7 @@ type t = {
   rank : rank option;
   chaos : chaos option;
   adapt : adapt option;
+  lockdep : lockdep option;
   harness : harness option;
 }
 
@@ -149,6 +173,7 @@ val make :
   ?rank:rank ->
   ?chaos:chaos ->
   ?adapt:adapt ->
+  ?lockdep:lockdep ->
   ?harness:harness ->
   seed:int ->
   scale:string ->
@@ -172,8 +197,11 @@ val validate : Json.t -> (unit, string) result
     recorded per-phase means and switch directions; a false flag with
     passing numbers is accepted, since the gate also judges aborts and
     conservation failures the section doesn't record); an optional
-    [harness] section with jobs/wall_s/experiments; rejects other
-    [schema_version]s *)
+    [lockdep] section (non-empty seeds and queues, counts non-negative
+    and internally consistent, and — one-sided like [adapt], since
+    aborted runs aren't recorded — no pass flag set while a queue
+    records violations); an optional [harness] section with
+    jobs/wall_s/experiments; rejects other [schema_version]s *)
 
 val validate_string : string -> (unit, string) result
 (** parse + validate *)

@@ -255,6 +255,7 @@ type outcome = {
   check : (unit, string) result;
   npriorities : int;
   stats : Stats.t;
+  mem : Mem.t option;
 }
 
 let sssp_inf = max_int / 4
@@ -516,4 +517,5 @@ let run_sim ?probe ?policy ?watchdog ?machine ?(track = true)
     check;
     npriorities;
     stats;
+    mem = Option.map snd !captured;
   }

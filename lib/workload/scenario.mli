@@ -162,6 +162,10 @@ type outcome = {
   stats : Pqsim.Stats.t;
       (** the run's recorded samples — per-phase latency under
           [phase_timing] (keys {!phase_key}); empty when [aborted] *)
+  mem : Pqsim.Mem.t option;
+      (** the run's final memory — carries the symbolic labels (e.g.
+          for attributing lock addresses in probe notes); [None] only
+          when the run aborted before construction completed *)
 }
 
 val phase_key : int -> string

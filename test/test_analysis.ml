@@ -326,6 +326,340 @@ let test_lint_repo_is_clean () =
   check_int "repository lint-clean" 0 (List.length vs)
 
 (* ------------------------------------------------------------------ *)
+(* lockdep: note-history unit cases, allowlist matching, interleaving
+   invariance, mutation fixtures, and a live HEAD audit at small scale *)
+
+let tag_acq = Pqsim.Probe.Lock_tag.acquire
+let tag_rel = Pqsim.Probe.Lock_tag.release
+let tag_tf = Pqsim.Probe.Lock_tag.try_fail
+
+let feed_history evs =
+  let obs = Lockdep.observer () in
+  List.iter
+    (fun (proc, time, tag, a) -> Lockdep.feed obs ~proc ~time ~tag ~a ~b:0)
+    evs;
+  obs
+
+let test_lockdep_edge_witness () =
+  (* p0 acquires A at 1 then B at 5 while holding A: one edge A->B with
+     the full witness; balanced releases leave the discipline clean *)
+  let obs =
+    feed_history
+      [ (0, 1, tag_acq, 7); (0, 5, tag_acq, 9); (0, 6, tag_rel, 9);
+        (0, 7, tag_rel, 7) ]
+  in
+  let label a = if a = 7 then Some "A" else if a = 9 then Some "B" else None in
+  let a = Lockdep.analyze ~sched:"unit" ~label obs in
+  check_int "events" 4 a.Lockdep.events_seen;
+  check_int "locks" 2 (List.length a.Lockdep.locks);
+  check_int "one edge" 1 (List.length a.Lockdep.edges);
+  (match a.Lockdep.edges with
+  | [ e ] ->
+      Alcotest.(check string) "src" "A" e.Lockdep.src;
+      Alcotest.(check string) "dst" "B" e.Lockdep.dst;
+      check_int "count" 1 e.Lockdep.count;
+      check_int "witness proc" 0 e.Lockdep.witness.Lockdep.proc;
+      check_int "witness held_since" 1 e.Lockdep.witness.Lockdep.held_since;
+      check_int "witness time" 5 e.Lockdep.witness.Lockdep.time;
+      Alcotest.(check string) "witness sched" "unit"
+        e.Lockdep.witness.Lockdep.sched
+  | _ -> Alcotest.fail "expected exactly one edge");
+  check_int "discipline clean" 0 (List.length a.Lockdep.disc);
+  check_int "no cycles" 0 (List.length (Lockdep.cycles a))
+
+let test_lockdep_try_fail_no_edge () =
+  (* a failed try while holding A: no ownership, so no order edge —
+     the distinction that keeps MultiQueue spraying cycle-free *)
+  let obs =
+    feed_history [ (0, 1, tag_acq, 7); (0, 2, tag_tf, 9); (0, 3, tag_rel, 7) ]
+  in
+  let a = Lockdep.analyze obs in
+  check_int "no edges" 0 (List.length a.Lockdep.edges);
+  check_int "try_fails counted" 1 a.Lockdep.try_fails;
+  check_int "discipline clean" 0 (List.length a.Lockdep.disc);
+  (* ... but B still appears as a graph node *)
+  check_int "locks" 2 (List.length a.Lockdep.locks)
+
+let test_lockdep_release_without_hold () =
+  let obs = feed_history [ (0, 1, tag_rel, 7) ] in
+  let a = Lockdep.analyze obs in
+  match a.Lockdep.disc with
+  | [ d ] ->
+      check_bool "kind" true (d.Lockdep.kind = Lockdep.Release_without_hold);
+      check_int "proc" 0 d.Lockdep.proc;
+      Alcotest.(check string) "signature"
+        "release-without-hold p0 addr:7"
+        (Lockdep.signature (Lockdep.Discipline d))
+  | _ -> Alcotest.fail "expected one discipline finding"
+
+let test_lockdep_double_release () =
+  (* acquire, release, release again: the second one is a double
+     release (distinct from releasing a never-held lock) *)
+  let obs =
+    feed_history [ (0, 1, tag_acq, 7); (0, 2, tag_rel, 7); (0, 3, tag_rel, 7) ]
+  in
+  let a = Lockdep.analyze obs in
+  match a.Lockdep.disc with
+  | [ d ] ->
+      check_bool "kind" true (d.Lockdep.kind = Lockdep.Double_release);
+      check_int "first at" 3 d.Lockdep.time;
+      check_int "occurrences" 1 d.Lockdep.occurrences
+  | _ -> Alcotest.fail "expected one discipline finding"
+
+let test_lockdep_held_at_quiescence () =
+  let evs = [ (0, 1, tag_acq, 7) ] in
+  let a = Lockdep.analyze (feed_history evs) in
+  (match a.Lockdep.disc with
+  | [ d ] ->
+      check_bool "kind" true (d.Lockdep.kind = Lockdep.Held_at_quiescence);
+      check_int "since" 1 d.Lockdep.time
+  | _ -> Alcotest.fail "expected one discipline finding");
+  (* aborted runs end mid-flight: with the quiescence check off the
+     leftover hold is not a finding *)
+  let a = Lockdep.analyze ~quiescent:false (feed_history evs) in
+  check_int "not judged when not quiescent" 0 (List.length a.Lockdep.disc)
+
+let test_lockdep_allowlist_matching () =
+  let d =
+    {
+      Lockdep.kind = Lockdep.Double_release;
+      proc = 2;
+      lock = "Q.bin[3]";
+      time = 9;
+      occurrences = 1;
+    }
+  in
+  let findings =
+    [ Lockdep.Cycle [ "Q.a"; "Q.b" ]; Lockdep.Discipline d ]
+  in
+  Alcotest.(check string) "cycle signature" "cycle: Q.a -> Q.b"
+    (Lockdep.signature (List.hd findings));
+  (* exact-match semantics: the whole signature, digit runs via '*' *)
+  let allowlisted, violations =
+    Lockdep.split findings ~expects:[ "cycle: Q.a -> Q.b" ]
+  in
+  check_int "cycle allowlisted" 1 (List.length allowlisted);
+  check_int "discipline still violates" 1 (List.length violations);
+  let allowlisted, violations =
+    Lockdep.split findings ~expects:[ "double-release p* Q.bin[*]" ]
+  in
+  check_int "digit-run pattern matches" 1 (List.length allowlisted);
+  check_int "cycle still violates" 1 (List.length violations);
+  let _, violations = Lockdep.split findings ~expects:[ "cycle: Q.a" ] in
+  check_int "prefix does not match (anchored)" 2 (List.length violations);
+  (* hard requirement: every shipped allowlist is empty *)
+  check_int "twelve audited queues" 12 (List.length Lockdep.queues_all);
+  List.iter
+    (fun q ->
+      check_int (q ^ " allowlist empty") 0 (List.length (Lockdep.expect q)))
+    Lockdep.queues_all
+
+(* interpret (flag, lock) pairs into a well-formed per-proc history:
+   release the innermost hold when flagged, else acquire when not held
+   (a held re-request becomes a failed try); balance everything at the
+   end so quiescence is clean *)
+let script_to_history proc script =
+  let held = ref [] and evs = ref [] and time = ref 0 in
+  let emit tag a =
+    incr time;
+    evs := (proc, (1000 * proc) + !time, tag, a) :: !evs
+  in
+  List.iter
+    (fun (rel, l) ->
+      let l = l + 1 in
+      if rel && !held <> [] then begin
+        let top = List.hd !held in
+        held := List.tl !held;
+        emit tag_rel top
+      end
+      else if not (List.mem l !held) then begin
+        emit tag_acq l;
+        held := l :: !held
+      end
+      else emit tag_tf l)
+    script;
+  List.iter (fun l -> emit tag_rel l) !held;
+  List.rev !evs
+
+let interleave bias xs ys =
+  let rec go bias xs ys acc =
+    match (bias, xs, ys) with
+    | _, [], rest | _, rest, [] -> List.rev_append acc rest
+    | [], xs, ys -> List.rev_append acc (xs @ ys)
+    | b :: bias, x :: xs', y :: ys' ->
+        if b then go bias xs' ys (x :: acc) else go bias xs ys' (y :: acc)
+  in
+  go bias xs ys []
+
+let qtest_lockdep_interleaving_invariance =
+  (* the analyzer folds per-processor state only, so the merged graph
+     must not depend on how the two processors' histories interleave —
+     the property that makes merging runs across schedules sound *)
+  QCheck.Test.make
+    ~name:"lock graph invariant under per-proc-order-preserving interleavings"
+    ~count:300
+    QCheck.(
+      triple
+        (list (pair bool (int_bound 2)))
+        (list (pair bool (int_bound 2)))
+        (list bool))
+    (fun (s0, s1, bias) ->
+      let h0 = script_to_history 0 s0 and h1 = script_to_history 1 s1 in
+      let shape evs =
+        let a = Lockdep.analyze (feed_history evs) in
+        ( a.Lockdep.locks,
+          List.map
+            (fun (e : Lockdep.edge) ->
+              (e.Lockdep.src, e.Lockdep.dst, e.Lockdep.count))
+            a.Lockdep.edges,
+          List.map
+            (fun (d : Lockdep.disc) ->
+              ( d.Lockdep.kind, d.Lockdep.proc, d.Lockdep.lock, d.Lockdep.time,
+                d.Lockdep.occurrences ))
+            a.Lockdep.disc,
+          a.Lockdep.try_fails )
+      in
+      shape (h0 @ h1) = shape (interleave bias h0 h1))
+
+let test_lockdep_abba_cycle_without_deadlock () =
+  (* the mutation fixture the detector exists for: an AB/BA protocol on
+     a schedule where the deadlock does NOT manifest (p1 is delayed past
+     p0's whole critical section; Sim.run completing is the proof).
+     The witnessed orders still compose into a cycle. *)
+  let obs = Lockdep.observer () in
+  let mem_ref = ref None in
+  let _ =
+    Pqsim.Sim.run ~nprocs:2 ~probe:(Lockdep.probe obs)
+      ~setup:(fun mem ->
+        mem_ref := Some mem;
+        let a = Pqsync.Tas.create ~name:"toy.A" mem in
+        let b = Pqsync.Tas.create ~name:"toy.B" mem in
+        (a, b))
+      ~program:(fun (a, b) pid ->
+        if pid = 0 then begin
+          Pqsync.Tas.acquire a;
+          Pqsim.Api.work 5;
+          Pqsync.Tas.acquire b;
+          Pqsync.Tas.release b;
+          Pqsync.Tas.release a
+        end
+        else begin
+          Pqsim.Api.work 2000;
+          Pqsync.Tas.acquire b;
+          Pqsync.Tas.acquire a;
+          Pqsync.Tas.release a;
+          Pqsync.Tas.release b
+        end)
+      ()
+  in
+  let analysis =
+    Lockdep.analyze ~label:(Pqsim.Mem.name_of (Option.get !mem_ref)) obs
+  in
+  let cycles = Lockdep.cycles analysis in
+  check_int "one potential-deadlock cycle" 1 (List.length cycles);
+  check_bool "A and B form it" true (List.mem [ "toy.A"; "toy.B" ] cycles);
+  check_int "discipline clean" 0 (List.length analysis.Lockdep.disc);
+  (* and it is a gate violation under the (empty) allowlist *)
+  let _, violations =
+    Lockdep.split
+      (List.map (fun c -> Lockdep.Cycle c) cycles)
+      ~expects:(Lockdep.expect "toy")
+  in
+  check_int "flagged" 1 (List.length violations)
+
+let test_lockdep_hunt_double_release_flagged () =
+  (* re-introduce the PR 5 bug shape: a HuntEtAl-style sift-down that
+     releases the child lock twice.  Tas locks make the second release
+     a harmless store in execution — no schedule hangs — yet the
+     discipline check flags it *)
+  let obs = Lockdep.observer () in
+  let mem_ref = ref None in
+  let _ =
+    Pqsim.Sim.run ~nprocs:1 ~probe:(Lockdep.probe obs)
+      ~setup:(fun mem ->
+        mem_ref := Some mem;
+        let l n = Pqsync.Tas.create ~name:n mem in
+        (l "HuntFixture.heap_lock", l "HuntFixture.node[1]",
+         l "HuntFixture.node[2]"))
+      ~program:(fun (heap, n1, n2) _ ->
+        Pqsync.Tas.acquire heap;
+        Pqsync.Tas.acquire n1;
+        Pqsync.Tas.release heap;
+        (* sift-down step: lock the child, swap, then the buggy exit
+           path unlocks the child a second time *)
+        Pqsync.Tas.acquire n2;
+        Pqsync.Tas.release n2;
+        Pqsync.Tas.release n1;
+        Pqsync.Tas.release n2)
+      ()
+  in
+  let analysis =
+    Lockdep.analyze ~label:(Pqsim.Mem.name_of (Option.get !mem_ref)) obs
+  in
+  check_int "no cycles" 0 (List.length (Lockdep.cycles analysis));
+  (match analysis.Lockdep.disc with
+  | [ d ] ->
+      check_bool "double release" true (d.Lockdep.kind = Lockdep.Double_release);
+      Alcotest.(check string) "on the child lock" "HuntFixture.node[2]"
+        d.Lockdep.lock
+  | _ -> Alcotest.fail "expected exactly the double-release finding");
+  let _, violations =
+    Lockdep.split
+      (List.map (fun d -> Lockdep.Discipline d) analysis.Lockdep.disc)
+      ~expects:(Lockdep.expect "HuntEtAl")
+  in
+  check_int "flagged" 1 (List.length violations)
+
+let test_lockdep_head_audits_clean () =
+  (* current HEAD must audit clean — small scale here; the full 12-queue
+     x 3-seed x 3-schedule matrix is the `pqbench lockdep` CI gate *)
+  List.iter
+    (fun queue ->
+      let a =
+        Lockdep.audit_queue ~nprocs:4 ~npriorities:8 ~ops_per_proc:8
+          ~seeds:[ 42 ] ~queue ()
+      in
+      check_bool (queue ^ " saw lock traffic") true
+        (queue = "Adaptive" || a.Lockdep.analysis.Lockdep.events_seen > 0);
+      check_int (queue ^ " violations") 0 (List.length a.Lockdep.violations);
+      check_int (queue ^ " aborted runs") 0 (List.length a.Lockdep.aborted))
+    [ "HuntEtAl"; "SkipList"; "MultiQueue"; "Adaptive" ]
+
+let test_hlock_tags_pinned_and_trace_clean () =
+  (* hostpq depends on nothing, so Hlock restates the tag values; this
+     pin keeps the two vocabularies equal *)
+  check_int "acquire tag" Pqsim.Probe.Lock_tag.acquire Hostpq.Hlock.tag_acquire;
+  check_int "release tag" Pqsim.Probe.Lock_tag.release Hostpq.Hlock.tag_release;
+  check_int "try_fail tag" Pqsim.Probe.Lock_tag.try_fail
+    Hostpq.Hlock.tag_try_fail;
+  (* a host-queue trace flows through the same analyzer and comes back
+     clean: balanced, single-lock-at-a-time *)
+  let obs = Lockdep.observer () in
+  Hostpq.Hlock.set_tracer
+    (Some
+       {
+         Hostpq.Hlock.trace =
+           (fun ~proc ~time ~tag ~a ~b ->
+             Lockdep.feed obs ~proc ~time ~tag ~a ~b);
+       });
+  let q = Hostpq.Locked_heap.create ~npriorities:8 () in
+  Hostpq.Locked_heap.insert q ~pri:3 "x";
+  Hostpq.Locked_heap.insert q ~pri:1 "y";
+  ignore (Hostpq.Locked_heap.delete_min q);
+  ignore (Hostpq.Locked_heap.length q);
+  Hostpq.Hlock.set_tracer None;
+  check_bool "events captured" true (Lockdep.events obs > 0);
+  let a = Lockdep.analyze ~label:Hostpq.Hlock.label_of obs in
+  check_int "one lock" 1 (List.length a.Lockdep.locks);
+  check_bool "symbolic key" true
+    (List.exists
+       (fun l ->
+         String.length l >= 11 && String.sub l 0 11 = "locked-heap")
+       a.Lockdep.locks);
+  check_int "no edges" 0 (List.length a.Lockdep.edges);
+  check_int "discipline clean" 0 (List.length a.Lockdep.disc)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "pqlint"
@@ -368,4 +702,28 @@ let () =
           Alcotest.test_case "spin loop" `Quick test_lint_spin_loop;
           Alcotest.test_case "repo lint-clean" `Quick test_lint_repo_is_clean;
         ] );
+      ( "lockdep",
+        [
+          Alcotest.test_case "edge witness" `Quick test_lockdep_edge_witness;
+          Alcotest.test_case "try-fail adds no edge" `Quick
+            test_lockdep_try_fail_no_edge;
+          Alcotest.test_case "release without hold" `Quick
+            test_lockdep_release_without_hold;
+          Alcotest.test_case "double release" `Quick test_lockdep_double_release;
+          Alcotest.test_case "held at quiescence" `Quick
+            test_lockdep_held_at_quiescence;
+          Alcotest.test_case "allowlist matching" `Quick
+            test_lockdep_allowlist_matching;
+          Alcotest.test_case "AB/BA cycle w/o deadlock" `Quick
+            test_lockdep_abba_cycle_without_deadlock;
+          Alcotest.test_case "Hunt double release flagged" `Quick
+            test_lockdep_hunt_double_release_flagged;
+          Alcotest.test_case "HEAD audits clean" `Quick
+            test_lockdep_head_audits_clean;
+          Alcotest.test_case "Hlock tags + host trace" `Quick
+            test_hlock_tags_pinned_and_trace_clean;
+        ] );
+      ( "lockdep-prop",
+        List.map QCheck_alcotest.to_alcotest
+          [ qtest_lockdep_interleaving_invariance ] );
     ]

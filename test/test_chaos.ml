@@ -244,7 +244,13 @@ let history_of_notes notes =
         Hashtbl.replace pending proc (a, b, time);
         None
       end
-      else if tg = S.Tag.settle then None
+      else if
+        (* the channel multiplexes protocols: only op-response tags
+           close an invocation (lock notes etc. must be ignored) *)
+        not
+          (tg = S.Tag.ins_ok || tg = S.Tag.ins_reject || tg = S.Tag.del_some
+         || tg = S.Tag.del_none)
+      then None
       else
         match Hashtbl.find_opt pending proc with
         | None -> None
