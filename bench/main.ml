@@ -52,6 +52,7 @@ let () =
      =====================================================================\n"
     scale.Pqbenchlib.Figures.max_procs;
   let timings = ref [] in
+  Pqsim.Sim.reset_harness_totals ();
   let t0 = Unix.gettimeofday () in
   let timed id f =
     let s0 = Unix.gettimeofday () in
@@ -242,6 +243,13 @@ let () =
         })
   in
   let wall = Unix.gettimeofday () -. t0 in
+  (* the allocation-discipline gauge: engine events and minor-heap words
+     accumulated by every simulation above (including Pool workers) *)
+  let events, minor_words = Pqsim.Sim.harness_totals () in
+  let minor_words_per_mevents =
+    if events = 0 then 0.
+    else Float.round (float_of_int minor_words /. float_of_int events *. 1e6)
+  in
   let r3 x = Float.round (x *. 1000.) /. 1000. in
   let baseline_wall_s =
     match Sys.getenv_opt "PQBENCH_BASELINE_S" with
@@ -252,6 +260,8 @@ let () =
     {
       Pqtrace.Bench_out.jobs;
       wall_s = r3 wall;
+      events;
+      minor_words_per_mevents;
       experiments = List.rev_map (fun (id, s) -> (id, r3 s)) !timings;
       baseline_wall_s = Option.map r3 baseline_wall_s;
       speedup =
@@ -259,7 +269,11 @@ let () =
           baseline_wall_s;
     }
   in
-  Printf.eprintf "[bench] harness: %.2fs wall at --jobs %d\n%!" wall jobs;
+  Printf.eprintf
+    "[bench] harness: %.2fs wall at --jobs %d; %d events, %.0f minor \
+     words/Mevents\n\
+     %!"
+    wall jobs events minor_words_per_mevents;
   let doc =
     Pqtrace.Bench_out.make ~seed:42
       ~scale:(if quick then "quick" else "full")

@@ -273,6 +273,13 @@ let default_dirs =
     "lib/relaxed"; "lib/adapt";
   ]
 
+(* Engine files scanned individually, outside the simulated-algorithm
+   trees.  The event-arena keeps every mutable slot it owns enumerated
+   in the allowlist with its lifetime rule, so creeping mutable state
+   (or a banned host module) in the hot path stays loud even though the
+   rest of lib/psim is host code and unscannable. *)
+let default_extra_files = [ "lib/psim/evq.ml" ]
+
 let read_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
@@ -280,7 +287,8 @@ let read_file path =
   close_in ic;
   s
 
-let scan_dirs ?(dirs = default_dirs) ?(allow = []) ~root () =
+let scan_dirs ?(dirs = default_dirs) ?(extra_files = default_extra_files)
+    ?(allow = []) ~root () =
   let out = ref [] in
   List.iter
     (fun dir ->
@@ -311,4 +319,24 @@ let scan_dirs ?(dirs = default_dirs) ?(allow = []) ~root () =
            Array.sort compare a;
            a))
     dirs;
+  List.iter
+    (fun rel ->
+      let path = Filename.concat root rel in
+      if not (Sys.file_exists path) then
+        out :=
+          { file = rel; line = 0; rule = "io"; message = "file not found" }
+          :: !out
+      else begin
+        if not (Sys.file_exists (path ^ "i")) then
+          out :=
+            {
+              file = rel;
+              line = 1;
+              rule = "mli-coverage";
+              message = "no corresponding .mli interface";
+            }
+            :: !out;
+        out := scan_string ~file:rel ~allow (read_file path) @ !out
+      end)
+    extra_files;
   List.sort (fun a b -> compare (a.file, a.line) (b.file, b.line)) !out

@@ -36,11 +36,19 @@ val load_allow : string -> (string * string) list
 
 val default_dirs : string list
 
+val default_extra_files : string list
+(** individual engine files scanned outside the directory walk —
+    currently the event arena [lib/psim/evq.ml], whose mutable slots
+    must each be enumerated (with a lifetime justification) in the
+    allowlist even though the rest of lib/psim is host code *)
+
 val scan_dirs :
   ?dirs:string list ->
+  ?extra_files:string list ->
   ?allow:(string * string) list ->
   root:string ->
   unit ->
   violation list
 (** walk [dirs] (default {!default_dirs}) under [root], scanning every
-    [.ml] and checking mli coverage *)
+    [.ml] and checking mli coverage, then scan each of [extra_files]
+    (default {!default_extra_files}) the same way *)

@@ -16,6 +16,12 @@ let depth_of node =
   go node 0
 
 let leaf_index ~nleaves pri = nleaves + pri
+
+(* tree height for a priority range: the depth of its leaves.  The
+   scale-1k sweeps report this alongside N so "deeper tree" is a number
+   (N=1024 -> height 10) rather than an inference from the range. *)
+let height ~npriorities =
+  depth_of (leaf_index ~nleaves:(leaves_for npriorities) 0)
 let is_leaf ~nleaves node = node >= nleaves
 let parent node = node / 2
 let left node = 2 * node

@@ -16,6 +16,11 @@ val depth_of : int -> int
 val leaf_index : nleaves:int -> int -> int
 (** node index of the leaf bin for a priority *)
 
+val height : npriorities:int -> int
+(** depth of the leaves for a priority range — the number of counter
+    levels an insert traverses (N=16 -> 4, N=1024 -> 10); reported by
+    the scale-1k sweeps alongside N *)
+
 val is_leaf : nleaves:int -> int -> bool
 val parent : int -> int
 val left : int -> int

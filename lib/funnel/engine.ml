@@ -39,7 +39,18 @@ type config = {
 }
 
 let default_config ~nprocs =
-  let levels = if nprocs <= 2 then 1 else if nprocs <= 16 then 2 else 3 in
+  (* a fourth combining layer past 256 processors: at 512/1024 the
+     three-layer funnel's top layer still fans hundreds of processors
+     into [nprocs/8] slots, so collision chains lengthen and the tree
+     root reheats; one more halving keeps the per-layer fan-in at scale.
+     Configs at [nprocs <= 256] are unchanged (golden digests cover
+     those sweeps). *)
+  let levels =
+    if nprocs <= 2 then 1
+    else if nprocs <= 16 then 2
+    else if nprocs <= 256 then 3
+    else 4
+  in
   let widths =
     Array.init levels (fun d -> max 1 (nprocs / (2 * (1 lsl d))))
   in

@@ -65,7 +65,9 @@ type config = {
 
 val default_config : nprocs:int -> config
 (** layer widths scale with the machine size; a 2-processor funnel
-    degenerates to one narrow layer *)
+    degenerates to one narrow layer, and machines past 256 processors
+    gain a fourth combining layer so per-layer fan-in stays bounded on
+    the 512/1024-processor sweeps *)
 
 val create : ?name:string -> Pqsim.Mem.t -> nprocs:int -> config:config -> t
 (** [?name] labels the funnel's layers ([name.layer[d]]) and per-processor

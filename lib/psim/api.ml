@@ -1,18 +1,64 @@
-let read addr = Effect.perform (Sim.Read addr)
-let write addr v = Effect.perform (Sim.Write (addr, v))
-let swap addr v = Effect.perform (Sim.Swap (addr, v))
+(* Each wrapper writes its operands into the calling domain's slot
+   record and performs the corresponding constant effect constructor —
+   see the protocol note on {!Sim.args}.  Nothing here allocates. *)
+
+let read addr =
+  let s = Sim.args () in
+  s.Sim.a <- addr;
+  Effect.perform Sim.Read
+
+let write addr v =
+  let s = Sim.args () in
+  s.Sim.a <- addr;
+  s.Sim.b <- v;
+  Effect.perform Sim.Write
+
+let swap addr v =
+  let s = Sim.args () in
+  s.Sim.a <- addr;
+  s.Sim.b <- v;
+  Effect.perform Sim.Swap
 
 let cas addr ~expected ~desired =
-  Effect.perform (Sim.Cas (addr, expected, desired))
+  let s = Sim.args () in
+  s.Sim.a <- addr;
+  s.Sim.b <- expected;
+  s.Sim.c <- desired;
+  Effect.perform Sim.Cas
 
-let faa addr d = Effect.perform (Sim.Faa (addr, d))
-let work n = Effect.perform (Sim.Work n)
-let wait_change addr v = Effect.perform (Sim.Wait_change (addr, v))
+let faa addr d =
+  let s = Sim.args () in
+  s.Sim.a <- addr;
+  s.Sim.b <- d;
+  Effect.perform Sim.Faa
+
+let work n =
+  let s = Sim.args () in
+  s.Sim.a <- n;
+  Effect.perform Sim.Work
+
+let wait_change addr v =
+  let s = Sim.args () in
+  s.Sim.a <- addr;
+  s.Sim.b <- v;
+  Effect.perform Sim.Wait_change
+
 let now () = Effect.perform Sim.Now
 let self () = Effect.perform Sim.Self
-let rand n = Effect.perform (Sim.Rand n)
+
+let rand n =
+  let s = Sim.args () in
+  s.Sim.a <- n;
+  Effect.perform Sim.Rand
+
 let flip () = Effect.perform Sim.Flip
-let record key v = Effect.perform (Sim.Record (key, v))
+
+let record key v =
+  let s = Sim.args () in
+  s.Sim.key <- key;
+  s.Sim.a <- v;
+  Effect.perform Sim.Record
+
 let progress () = Effect.perform Sim.Progress
 
 let await addr ~until =
@@ -20,13 +66,40 @@ let await addr ~until =
   go (read addr)
 
 let probing () = Probe.active ()
-let count key v = if probing () then Effect.perform (Sim.Count (key, v))
-let mark name arg = if probing () then Effect.perform (Sim.Mark (name, arg))
-let note tag a b = if probing () then Effect.perform (Sim.Note (tag, a, b))
+
+let count key v =
+  if probing () then begin
+    let s = Sim.args () in
+    s.Sim.key <- key;
+    s.Sim.a <- v;
+    Effect.perform Sim.Count
+  end
+
+let mark name arg =
+  if probing () then begin
+    let s = Sim.args () in
+    s.Sim.key <- name;
+    s.Sim.a <- arg;
+    Effect.perform Sim.Mark
+  end
+
+let note tag a b =
+  if probing () then begin
+    let s = Sim.args () in
+    s.Sim.a <- tag;
+    s.Sim.b <- a;
+    s.Sim.c <- b;
+    Effect.perform Sim.Note
+  end
 
 let timed key f =
   let t0 = now () in
   let x = f () in
   record key (now () - t0);
-  if probing () then Effect.perform (Sim.Span (key, t0));
+  if probing () then begin
+    let s = Sim.args () in
+    s.Sim.key <- key;
+    s.Sim.a <- t0;
+    Effect.perform Sim.Span
+  end;
   x

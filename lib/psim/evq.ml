@@ -1,67 +1,251 @@
-type event = { time : int; weight : int; seq : int; run : unit -> unit }
+(* Ladder event queue.  The engine's event stream is overwhelmingly
+   near-monotone: almost every push lands within one memory-latency
+   horizon of the current clock.  A classic binary heap pays O(log n)
+   per operation for that stream; this structure pays amortized O(1).
 
-type t = {
-  mutable heap : event array;
-  mutable size : int;
-  mutable next_seq : int;
+   Layout:
+
+   - a sliding *window* of [window] time-indexed buckets covering the
+     ticks [cur, cur + window).  An event at time [t] in the window
+     lives in bucket [t land mask]; since the window spans exactly
+     [window] ticks, a bucket holds a single time value (plus clamped
+     stragglers, below).  Buckets are intrusive singly-linked lists of
+     event records kept sorted by the full (time, weight, seq) key —
+     the engine's weight-0 FIFO stream always appends at the tail in
+     O(1), while adversarial same-cycle weights from the schedule
+     explorer fall back to an insertion walk.
+   - a two-level occupancy bitmap over the buckets (32 slots per word)
+     so [pop] finds the next nonempty bucket with word tests + a
+     count-trailing-zeros, not a slot-by-slot scan of sparse windows.
+   - a *far* binary heap (ordered by the same full key) for events
+     beyond the window; whenever the cursor advances, due far events
+     are drained into their buckets, so each event moves through the
+     far heap at most once.
+
+   Event records are mutable and arena-recycled through an intrusive
+   freelist: [pop_exn] hands back the record itself and reclaims it on
+   the *next* pop, so the caller (the engine loop, or [drain]'s
+   callback) may read the record — and push new events, which allocate
+   from the freelist — while it is still live.  The [run] slot is reset
+   to a static thunk on recycle so a retired record never pins a
+   closure.
+
+   The pop order is the same strict total order (time, then weight,
+   then seq; seq is unique) the old binary heap used, so any run
+   driven through this queue is byte-identical to one driven through
+   the heap — the golden-digest gates check exactly that.  The old
+   heap survives as the QCheck reference model in test/test_psim.ml. *)
+
+type event = {
+  mutable time : int;
+  mutable weight : int;
+  mutable seq : int;
+  mutable pid : int;
+  mutable v : int;
+  mutable run : unit -> unit;
+  mutable next : event;
 }
 
-let dummy = { time = 0; weight = 0; seq = 0; run = ignore }
-let create () = { heap = Array.make 256 dummy; size = 0; next_seq = 0 }
+(* window parameters: [window] must be a power of two, and [slot_words]
+   32-bit occupancy words cover it *)
+let window = 4096
+let mask = window - 1
+let slot_words = window / 32
+
+let rec nil =
+  { time = 0; weight = 0; seq = 0; pid = -1; v = 0; run = ignore; next = nil }
+
+type t = {
+  bhead : event array; (* bucket heads, [nil] when empty *)
+  btail : event array;
+  occ : int array; (* occupancy bitmap: bit (s land 31) of word (s lsr 5) *)
+  occ_sum : int array; (* summary: bit w set iff occ.(w) <> 0 *)
+  mutable cur : int; (* absolute-time cursor; never decreases while nonempty *)
+  mutable in_window : int;
+  mutable far : event array; (* binary heap of events at time >= cur + window *)
+  mutable far_size : int;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable free : event; (* freelist of retired records, [nil]-terminated *)
+  mutable last : event; (* record returned by the previous pop, or [nil] *)
+  mutable pops : int;
+}
+
+let create () =
+  {
+    bhead = Array.make window nil;
+    btail = Array.make window nil;
+    occ = Array.make slot_words 0;
+    occ_sum = Array.make ((slot_words + 31) / 32) 0;
+    cur = 0;
+    in_window = 0;
+    far = Array.make 64 nil;
+    far_size = 0;
+    size = 0;
+    next_seq = 0;
+    free = nil;
+    last = nil;
+    pops = 0;
+  }
+
 let is_empty t = t.size = 0
 let length t = t.size
+let pops t = t.pops
 
 let before a b =
   a.time < b.time
   || (a.time = b.time
      && (a.weight < b.weight || (a.weight = b.weight && a.seq < b.seq)))
 
-let grow t =
-  let heap = Array.make (2 * Array.length t.heap) dummy in
-  Array.blit t.heap 0 heap 0 t.size;
-  t.heap <- heap
+(* count trailing zeros of a nonzero 32-bit value, by de Bruijn multiply *)
+let ctz_table =
+  [|
+    0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8; 31; 27; 13; 23;
+    21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9;
+  |]
 
-let push t ~time ?(weight = 0) run =
-  if t.size = Array.length t.heap then grow t;
-  let e = { time; weight; seq = t.next_seq; run } in
-  t.next_seq <- t.next_seq + 1;
-  (* sift up *)
+let ctz32 x = ctz_table.((((x land -x) * 0x077CB531) land 0xFFFFFFFF) lsr 27)
+
+let set_occ t s =
+  let w = s lsr 5 in
+  t.occ.(w) <- t.occ.(w) lor (1 lsl (s land 31));
+  t.occ_sum.(w lsr 5) <- t.occ_sum.(w lsr 5) lor (1 lsl (w land 31))
+
+let clear_occ t s =
+  let w = s lsr 5 in
+  let word = t.occ.(w) land lnot (1 lsl (s land 31)) in
+  t.occ.(w) <- word;
+  if word = 0 then
+    t.occ_sum.(w lsr 5) <- t.occ_sum.(w lsr 5) land lnot (1 lsl (w land 31))
+
+(* index of the first nonempty bucket at or after slot [s0], scanning the
+   circular window; the caller guarantees the window is nonempty *)
+let next_occupied t s0 =
+  let w0 = s0 lsr 5 in
+  let first = t.occ.(w0) land (-1 lsl (s0 land 31)) land 0xFFFFFFFF in
+  if first <> 0 then (w0 lsl 5) lor ctz32 first
+  else begin
+    (* remaining words of this summary block, then whole blocks, wrapping;
+       fuel bounds the scan at one full circle in case the nonempty-window
+       precondition is ever violated *)
+    let nsum = Array.length t.occ_sum in
+    let rec block b masked fuel =
+      if fuel < 0 then invalid_arg "Evq.next_occupied: empty window";
+      let bits = t.occ_sum.(b) land masked land 0xFFFFFFFF in
+      if bits <> 0 then begin
+        let w = (b lsl 5) lor ctz32 bits in
+        (w lsl 5) lor ctz32 t.occ.(w)
+      end
+      else
+        let b' = b + 1 in
+        block (if b' = nsum then 0 else b') (-1) (fuel - 1)
+    in
+    block (w0 lsr 5) (-1 lsl ((w0 land 31) + 1)) (nsum + 1)
+  end
+
+(* recycle the record handed out by the previous pop *)
+let retire t =
+  let e = t.last in
+  if e != nil then begin
+    t.last <- nil;
+    e.run <- ignore;
+    e.next <- t.free;
+    t.free <- e
+  end
+
+let alloc t ~time ~weight ~pid ~v run =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let e = t.free in
+  if e != nil then begin
+    t.free <- e.next;
+    e.time <- time;
+    e.weight <- weight;
+    e.seq <- seq;
+    e.pid <- pid;
+    e.v <- v;
+    e.run <- run;
+    e.next <- nil;
+    e
+  end
+  else { time; weight; seq; pid; v; run; next = nil }
+
+(* insert [e] into its window bucket, keeping the chain sorted by the
+   full key.  The hot case — the engine's monotonically-sequenced
+   weight-0 stream, and far-heap drains (popped in key order) — appends
+   at the tail in O(1). *)
+let bucket_insert t e =
+  (* events from the past (QCheck drives these; the engine never does)
+     clamp into the cursor bucket, where the full-key walk still yields
+     them first *)
+  let s = (if e.time < t.cur then t.cur else e.time) land mask in
+  let head = t.bhead.(s) in
+  if head == nil then begin
+    t.bhead.(s) <- e;
+    t.btail.(s) <- e;
+    set_occ t s
+  end
+  else begin
+    let tail = t.btail.(s) in
+    if before tail e then begin
+      tail.next <- e;
+      t.btail.(s) <- e
+    end
+    else if before e head then begin
+      e.next <- head;
+      t.bhead.(s) <- e
+    end
+    else begin
+      (* insertion walk; terminates before the tail by the checks above *)
+      let p = ref head in
+      while before !p.next e do
+        p := !p.next
+      done;
+      e.next <- !p.next;
+      !p.next <- e
+    end
+  end;
+  t.in_window <- t.in_window + 1
+
+(* far heap: plain binary min-heap on the full key *)
+
+let far_grow t =
+  let far = Array.make (2 * Array.length t.far) nil in
+  Array.blit t.far 0 far 0 t.far_size;
+  t.far <- far
+
+let far_push t e =
+  if t.far_size = Array.length t.far then far_grow t;
   let rec up i =
-    if i = 0 then t.heap.(0) <- e
+    if i = 0 then t.far.(0) <- e
     else
       let parent = (i - 1) / 2 in
-      if before e t.heap.(parent) then begin
-        t.heap.(i) <- t.heap.(parent);
+      if before e t.far.(parent) then begin
+        t.far.(i) <- t.far.(parent);
         up parent
       end
-      else t.heap.(i) <- e
+      else t.far.(i) <- e
   in
-  t.size <- t.size + 1;
-  up (t.size - 1)
+  t.far_size <- t.far_size + 1;
+  up (t.far_size - 1)
 
-exception Empty
-
-(* The engine's hot path: returns the event record itself, so nothing is
-   boxed per pop (the record was allocated once, at push). *)
-let pop_exn t =
-  if t.size = 0 then raise Empty;
-  let top = t.heap.(0) in
-  t.size <- t.size - 1;
-  let last = t.heap.(t.size) in
-  t.heap.(t.size) <- dummy;
-  if t.size > 0 then begin
-    (* sift down *)
+let far_pop t =
+  let top = t.far.(0) in
+  t.far_size <- t.far_size - 1;
+  let last = t.far.(t.far_size) in
+  t.far.(t.far_size) <- nil;
+  if t.far_size > 0 then begin
     let rec down i =
       let l = (2 * i) + 1 and r = (2 * i) + 2 in
       let smallest = ref i in
-      if l < t.size && before t.heap.(l) last then smallest := l;
+      if l < t.far_size && before t.far.(l) last then smallest := l;
       if
-        r < t.size
-        && before t.heap.(r) (if !smallest = i then last else t.heap.(l))
+        r < t.far_size
+        && before t.far.(r) (if !smallest = i then last else t.far.(l))
       then smallest := r;
-      if !smallest = i then t.heap.(i) <- last
+      if !smallest = i then t.far.(i) <- last
       else begin
-        t.heap.(i) <- t.heap.(!smallest);
+        t.far.(i) <- t.far.(!smallest);
         down !smallest
       end
     in
@@ -69,11 +253,47 @@ let pop_exn t =
   end;
   top
 
-let pop t =
-  if t.size = 0 then None
-  else
-    let e = pop_exn t in
-    Some (e.time, e.run)
+let insert t e =
+  if t.size = 0 then t.cur <- e.time;
+  t.size <- t.size + 1;
+  if e.time >= t.cur + window then far_push t e else bucket_insert t e
+
+let push t ~time ?(weight = 0) run =
+  insert t (alloc t ~time ~weight ~pid:(-1) ~v:0 run)
+
+let push_resume t ~time ~pid ~v =
+  insert t (alloc t ~time ~weight:0 ~pid ~v ignore)
+
+exception Empty
+
+let pop_exn t =
+  if t.size = 0 then raise Empty;
+  retire t;
+  if t.in_window = 0 then
+    (* everything pending is in the far heap: jump the cursor there *)
+    t.cur <- t.far.(0).time;
+  (* slide due far events into the window they now belong to *)
+  while t.far_size > 0 && t.far.(0).time < t.cur + window do
+    let e = far_pop t in
+    bucket_insert t e
+  done;
+  let s = next_occupied t (t.cur land mask) in
+  (* absolute time of slot [s] in the window starting at [cur] *)
+  t.cur <- t.cur + ((s - t.cur) land mask);
+  let e = t.bhead.(s) in
+  t.bhead.(s) <- e.next;
+  if e.next == nil then begin
+    t.btail.(s) <- nil;
+    clear_occ t s
+  end;
+  e.next <- nil;
+  t.in_window <- t.in_window - 1;
+  t.size <- t.size - 1;
+  t.pops <- t.pops + 1;
+  t.last <- e;
+  e
+
+let pop t = if t.size = 0 then None else Some (pop_exn t)
 
 let drain t f =
   while t.size > 0 do

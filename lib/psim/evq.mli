@@ -1,13 +1,33 @@
 (** Event queue for the discrete-event engine.
 
-    A binary min-heap of closures keyed by (time, weight, sequence-number).
-    The weight is a scheduling-policy tie-break rank among same-cycle
-    events (see {!Sched}); the sequence number makes the remaining
-    ordering deterministic: events scheduled earlier run earlier. *)
+    A ladder/calendar queue: a sliding window of time-indexed buckets
+    (amortized O(1) for the engine's near-monotone event stream) backed
+    by a binary heap for far-future events, over an arena of recycled
+    mutable event records.  Events pop in the same strict total order
+    the original binary heap used — (time, weight, sequence-number) —
+    so the two structures are observably identical.  The weight is a
+    scheduling-policy tie-break rank among same-cycle events (see
+    {!Sched}); the sequence number makes the remaining ordering
+    deterministic: events scheduled earlier run earlier. *)
 
-type event = private { time : int; weight : int; seq : int; run : unit -> unit }
+type event = private {
+  mutable time : int;
+  mutable weight : int;
+  mutable seq : int;
+  mutable pid : int;
+      (** [>= 0] for an engine resume event pushed by {!push_resume};
+          [-1] for a closure event pushed by {!push} *)
+  mutable v : int;  (** immediate resume value for a {!push_resume} event *)
+  mutable run : unit -> unit;
+  mutable next : event;  (** intrusive bucket/freelist link; do not touch *)
+}
 (** An enqueued event.  Exposed read-only so {!pop_exn} can hand the
-    heap's own record back without boxing a fresh tuple per pop. *)
+    arena's own record back without boxing anything per pop.
+
+    Lifetime: a record returned by {!pop_exn}/{!pop}/{!drain} is valid
+    only until the next pop on the same queue, at which point it is
+    recycled into the arena.  Read its fields (or copy them) before
+    popping again. *)
 
 type t
 
@@ -17,20 +37,35 @@ val push : t -> time:int -> ?weight:int -> (unit -> unit) -> unit
 (** [push t ~time ?weight run] schedules [run] at cycle [time]; among
     same-cycle events, lower [weight] (default 0) fires first. *)
 
+val push_resume : t -> time:int -> pid:int -> v:int -> unit
+(** [push_resume t ~time ~pid ~v] schedules (at weight 0, without
+    allocating a closure) the engine's resumption of processor [pid]
+    with immediate value [v]: the engine loop dispatches on
+    [event.pid >= 0] and continues the processor's saved continuation
+    itself instead of calling [event.run]. *)
+
 exception Empty
 
 val pop_exn : t -> event
 (** [pop_exn t] removes and returns the earliest event without
     allocating; raises {!Empty} if the queue is empty.  The engine's hot
     path — callers test {!is_empty} first rather than handling the
-    exception. *)
+    exception.  The returned record is recycled on the next pop (see
+    {!event}). *)
 
-val pop : t -> (int * (unit -> unit)) option
-(** [pop t] removes and returns the earliest event, or [None] if empty. *)
+val pop : t -> event option
+(** [pop t] removes and returns the earliest event, or [None] if empty.
+    Same representation — and same lifetime rules — as {!pop_exn}, plus
+    one [Some] cell. *)
 
 val drain : t -> (event -> unit) -> unit
 (** [drain t f] pops every queued event in order, applying [f] to each
-    ([f] may {!push} more; draining continues until truly empty). *)
+    ([f] may {!push} more; draining continues until truly empty).  Each
+    record passed to [f] is recycled when the next one pops. *)
 
 val is_empty : t -> bool
 val length : t -> int
+
+val pops : t -> int
+(** Total number of events this queue has popped (the engine's
+    events-executed counter). *)

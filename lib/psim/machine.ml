@@ -39,18 +39,26 @@ let make ?mem_modules ?(sockets = 1) ?(cache_hit = 2) ?(miss_base = 12)
     atomic_occupancy;
   }
 
+(* The 512/1024-processor sweep configuration.  Mesh costs stay at the
+   defaults so the curve is continuous with the flat-mesh sweeps at low
+   concurrency; past 256 processors the machine gains one socket per
+   256-processor block with a 2-cycle remote hop, approximating the
+   multi-socket topology any real machine of that size would have.  At
+   [nprocs <= 256] this is bit-identical to [make ~nprocs ()]. *)
+let scale1k ~nprocs =
+  let sockets = max 1 (nprocs / 256) in
+  make ~nprocs ~sockets ~remote_hop_cost:2 ()
+
 let home_module t line = line mod t.mem_modules
 
 (* Modules are co-located with processors round-robin on the same mesh, so a
-   module index maps to grid coordinates exactly like a processor index. *)
-let coords t i =
-  let i = i mod (t.mesh_width * t.mesh_width) in
-  (i mod t.mesh_width, i / t.mesh_width)
-
+   module index maps to grid coordinates exactly like a processor index.
+   Coordinates stay unboxed: this runs on every miss and every update. *)
 let hops t ~proc ~line =
-  let px, py = coords t proc in
-  let mx, my = coords t (home_module t line) in
-  abs (px - mx) + abs (py - my)
+  let w = t.mesh_width in
+  let p = proc mod (w * w) in
+  let m = home_module t line mod (w * w) in
+  abs ((p mod w) - (m mod w)) + abs ((p / w) - (m / w))
 
 (* Sockets partition the processor range into [sockets] contiguous,
    nearly-equal blocks; a memory module is co-located with the processor

@@ -53,6 +53,15 @@ val make :
     @raise Invalid_argument when [sockets] is outside [1, nprocs] or
     [remote_hop_cost] is negative. *)
 
+val scale1k : nprocs:int -> t
+(** [scale1k ~nprocs] is the 512/1024-processor sweep configuration:
+    default mesh costs with one socket per 256-processor block
+    ([max 1 (nprocs / 256)]) and a 2-cycle remote hop — the multi-socket
+    topology any real machine of that size would have.  At
+    [nprocs <= 256] the single socket makes it bit-identical to
+    [make ~nprocs ()], so scale-1k sweeps are continuous with the
+    paper's flat-mesh figures at low concurrency. *)
+
 val hops : t -> proc:int -> line:int -> int
 (** [hops t ~proc ~line] is the mesh distance between processor [proc] and
     the home module of cache line [line]. *)

@@ -1,72 +1,158 @@
-(* Flat-array memory model.  Addresses are small dense integers handed
-   out by [alloc], so every per-line side table is a growable array
-   indexed by line — the same scheme [data]/[busy] use — rather than a
-   hash table.  The hot paths (read hit test, invalidation, directory
-   service, last-writer tracking) are plain array loads and stores.
+(* Flat memory model over demand-zero pages.  Addresses are small dense
+   integers handed out by [alloc]; every per-line side table (data,
+   directory busy-until, reader set, queueing delay, last writer,
+   spin-waiter chain) is a flat table indexed by line.  The hot paths
+   (read hit test, invalidation, directory service, last-writer
+   tracking) are plain loads and stores.
 
-   Cached-copy tracking is a per-line bitmask of processors whose copy
-   is current ([readers], [mask_words] words per line, 63 processors per
-   word): a read hit is one bit test, an invalidation clears the line's
-   mask words.  This is observably identical to the previous per-
-   processor (addr -> version) tables — a processor hits iff it has
-   accessed the line since the last invalidation — without a version
-   counter or a per-processor lookup structure. *)
+   Side tables are mmap-backed bigarrays of a large fixed virtual
+   reservation (private mappings of /dev/zero) rather than OCaml arrays:
+   simulated structures preallocate generously — a tree of bins sized
+   for the worst case puts hundreds of millions of words behind one
+   1024-processor run — and with eager arrays such runs used to spend
+   most of their wall clock zero-filling and re-zero-filling side tables
+   across capacity doublings.  A demand-zero reservation makes untouched
+   lines literally free: the kernel materializes a zeroed page the first
+   time a line's entry is written, there is no growth copy, and integer
+   stores into bigarrays skip the GC write barrier.  Only lines a run
+   actually touches ever cost host memory, so per-line footprint scales
+   with the touched working set, not with [words_allocated].
+
+   Two further footprint tricks:
+
+   - {b adaptive reader tracking}: a line's current-copy set is one word
+     — empty, a single processor inline, or an index into a pool of
+     bitmask blocks (ceil(nprocs/63) words each) for lines with several
+     concurrent sharers.  Blocks are recycled at invalidation, so the
+     pool stays proportional to the number of concurrently multi-read
+     lines, not to memory size or processor count.  Observably identical
+     to a full per-line bitmask: a processor hits iff it has read the
+     line since the last invalidation.
+
+   - {b probe-gated side tables stay unmapped until probed}: the
+     per-line traffic and invalidation counters are only consulted under
+     a probe, so their reservations materialize on [set_probing true]
+     and default runs never pay the virtual mappings.
+
+   Spin-waiters are an intrusive per-line chain of processor ids
+   (one word per line plus one link word per processor — a processor
+   waits on at most one line), woken through a single engine-registered
+   callback: parking and waking allocate nothing. *)
+
+type words = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+module W = Bigarray.Array1
+
+(* One virtual reservation size for every per-line table: 2^28 words
+   (2 GiB of address space each, nothing resident until touched) bounds
+   [words_allocated] at ~268M lines — comfortably above the largest
+   1024-processor worst-case-sized structure in the tree.  Halved
+   candidates keep restricted address spaces working. *)
+let reserve_candidates = [ 1 lsl 28; 1 lsl 26; 1 lsl 24; 1 lsl 21 ]
+
+let map_words n : words =
+  let fd = Unix.openfile "/dev/zero" [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Bigarray.array1_of_genarray
+        (Unix.map_file fd Bigarray.Int Bigarray.c_layout false [| n |]))
+
+let rec first_reserve = function
+  | [ n ] -> (n, map_words n)
+  | n :: rest -> (
+      try (n, map_words n) with Unix.Unix_error _ -> first_reserve rest)
+  | [] -> invalid_arg "Mem: no viable reservation size"
 
 type t = {
   machine : Machine.t;
-  mask_words : int; (* words of reader-mask per line: ceil (nprocs / 63) *)
+  mask_words : int; (* words of reader-mask per block: ceil (nprocs / 63) *)
+  reserve : int; (* virtual words per table: the hard address bound *)
   mutable probing : bool; (* per-run copy of the probe flag (set by Sim) *)
   mutable metrics : Stats.t option; (* probe metrics registry (set by Sim) *)
-  mutable data : int array;
-  mutable busy : int array;
-  mutable readers : int array; (* line * mask_words .. : current-copy bits *)
-  mutable wait_by_line : int array;
-  mutable writer_by_line : int array; (* -1 = no simulated writer yet *)
-  mutable traffic_by_line : int array;
-  mutable inval_by_line : int array;
+  data : words;
+  busy : words;
+  readers : words;
+      (* current-copy set per line: 0 = none, [p+1] = only processor
+         [p], [-(b+1)] = bitmask block [b] in [blocks] *)
+  mutable blocks : int array; (* block pool: [mask_words] words each *)
+  mutable free_blocks : int array; (* stack of recycled block indices *)
+  mutable free_top : int;
+  mutable next_block : int; (* blocks handed out so far *)
+  wait_by_line : words;
+  writer_by_line : words; (* 0 = no simulated writer yet, else pid + 1 *)
+  mutable traffic_by_line : words; (* unmapped (dim 0) until probing *)
+  mutable inval_by_line : words; (* unmapped (dim 0) until probing *)
   mutable sync_lines : Bytes.t;
-  mutable watchers : (int -> unit) list array;
+  watchers : words;
+      (* spin-waiter chain head per line: 0 = none, else [pid + 1] *)
+  wnext : int array; (* per-processor chain link: 0 = end, else [pid + 1] *)
+  mutable waker : int -> int -> unit;
+      (* [waker pid change_time]: deliver a line change to a parked
+         processor; registered once per run by the engine *)
   mutable next_free : int;
   mutable hits : int;
   mutable misses : int;
   mutable updates : int;
   mutable queue_wait : int;
+  mutable out : int;
+      (* secondary result of the last [_t] operation: the value read /
+         the old value swapped out / 1-or-0 for a CAS.  The [_t]
+         variants return only the completion time and park the payload
+         here so the engine's hot path never boxes a tuple per access. *)
   node_factor : int array; (* per memory module service-time multiplier *)
   (* observability: symbolic names for allocated ranges (host-side
      metadata, registration order preserved) *)
   mutable labels : (int * int * string) list;
 }
 
-let initial_words = 4096
+let no_words : words = W.create Bigarray.Int Bigarray.c_layout 0
 
 let create machine =
   let nprocs = machine.Machine.nprocs in
+  let reserve, data = first_reserve reserve_candidates in
   {
     machine;
     mask_words = (nprocs + 62) / 63;
+    reserve;
     probing = false;
     metrics = None;
-    data = Array.make initial_words 0;
-    busy = Array.make initial_words 0;
-    readers = Array.make (initial_words * ((nprocs + 62) / 63)) 0;
-    wait_by_line = Array.make initial_words 0;
-    writer_by_line = Array.make initial_words (-1);
-    traffic_by_line = Array.make initial_words 0;
-    inval_by_line = Array.make initial_words 0;
-    sync_lines = Bytes.make initial_words '\000';
-    watchers = Array.make initial_words [];
+    data;
+    busy = map_words reserve;
+    readers = map_words reserve;
+    blocks = [||];
+    free_blocks = [||];
+    free_top = 0;
+    next_block = 0;
+    wait_by_line = map_words reserve;
+    writer_by_line = map_words reserve;
+    traffic_by_line = no_words;
+    inval_by_line = no_words;
+    sync_lines = Bytes.make 4096 '\000';
+    watchers = map_words reserve;
+    wnext = Array.make nprocs 0;
+    waker = (fun _ _ -> ());
     next_free = 1 (* address 0 reserved as null *);
     hits = 0;
     misses = 0;
     updates = 0;
     queue_wait = 0;
+    out = 0;
     node_factor = Array.make machine.Machine.mem_modules 1;
     labels = [];
   }
 
 let machine t = t.machine
-let set_probing t b = t.probing <- b
+
+let set_probing t b =
+  t.probing <- b;
+  if b && W.dim t.traffic_by_line = 0 then begin
+    t.traffic_by_line <- map_words t.reserve;
+    t.inval_by_line <- map_words t.reserve
+  end
+
 let set_metrics t m = t.metrics <- m
+let set_waker t w = t.waker <- w
 
 (* probe-gated: classify a coherence transaction as intra- or
    inter-socket for the metrics registry (the adaptive classifier's
@@ -82,32 +168,10 @@ let count_locality t ~proc ~addr =
         1
 
 let ensure t n =
-  if n > Array.length t.data then begin
-    let cap = ref (Array.length t.data) in
-    while !cap < n do
-      cap := !cap * 2
-    done;
-    let grow ?(fill = 0) a =
-      let b = Array.make !cap fill in
-      Array.blit a 0 b 0 (Array.length a);
-      b
-    in
-    t.data <- grow t.data;
-    t.busy <- grow t.busy;
-    t.wait_by_line <- grow t.wait_by_line;
-    t.writer_by_line <- grow ~fill:(-1) t.writer_by_line;
-    t.traffic_by_line <- grow t.traffic_by_line;
-    t.inval_by_line <- grow t.inval_by_line;
-    let readers = Array.make (!cap * t.mask_words) 0 in
-    Array.blit t.readers 0 readers 0 (Array.length t.readers);
-    t.readers <- readers;
-    let sync = Bytes.make !cap '\000' in
-    Bytes.blit t.sync_lines 0 sync 0 (Bytes.length t.sync_lines);
-    t.sync_lines <- sync;
-    let watchers = Array.make !cap [] in
-    Array.blit t.watchers 0 watchers 0 (Array.length t.watchers);
-    t.watchers <- watchers
-  end
+  if n > t.reserve then
+    invalid_arg
+      (Printf.sprintf "Mem.alloc: %d words exceeds the %d-word reservation" n
+         t.reserve)
 
 let alloc t n =
   if n < 0 then invalid_arg "Mem.alloc: negative size";
@@ -135,47 +199,128 @@ let name_of t addr =
 let declare_sync t ~addr ~len =
   if len <= 0 then invalid_arg "Mem.declare_sync: len must be positive";
   ensure t (addr + len);
+  if addr + len > Bytes.length t.sync_lines then begin
+    let cap = ref (Bytes.length t.sync_lines) in
+    while !cap < addr + len do
+      cap := !cap * 2
+    done;
+    let sync = Bytes.make !cap '\000' in
+    Bytes.blit t.sync_lines 0 sync 0 (Bytes.length t.sync_lines);
+    t.sync_lines <- sync
+  end;
   Bytes.fill t.sync_lines addr len '\001'
 
 let is_sync t addr =
   addr < Bytes.length t.sync_lines && Bytes.unsafe_get t.sync_lines addr <> '\000'
 
-(* reader-mask primitives: bit [proc] of line [addr] is set iff [proc]'s
-   cached copy is current *)
+(* reader-set primitives: processor [proc] is in line [addr]'s set iff
+   its cached copy is current *)
+
+let alloc_block t =
+  if t.free_top > 0 then begin
+    t.free_top <- t.free_top - 1;
+    t.free_blocks.(t.free_top)
+  end
+  else begin
+    let b = t.next_block in
+    t.next_block <- b + 1;
+    if (b + 1) * t.mask_words > Array.length t.blocks then begin
+      let cap = max (8 * t.mask_words) (2 * Array.length t.blocks) in
+      let blocks = Array.make cap 0 in
+      Array.blit t.blocks 0 blocks 0 (Array.length t.blocks);
+      t.blocks <- blocks
+    end;
+    b
+  end
+
+let free_block t b =
+  let base = b * t.mask_words in
+  Array.fill t.blocks base t.mask_words 0;
+  if t.free_top >= Array.length t.free_blocks then begin
+    let cap = max 8 (2 * Array.length t.free_blocks) in
+    let fb = Array.make cap 0 in
+    Array.blit t.free_blocks 0 fb 0 (Array.length t.free_blocks);
+    t.free_blocks <- fb
+  end;
+  t.free_blocks.(t.free_top) <- b;
+  t.free_top <- t.free_top + 1
 
 let cached t ~proc addr =
-  t.readers.((addr * t.mask_words) + (proc / 63)) land (1 lsl (proc mod 63))
-  <> 0
+  let r = W.get t.readers addr in
+  if r >= 0 then r = proc + 1
+  else
+    let base = ((-1 - r) * t.mask_words) + (proc / 63) in
+    t.blocks.(base) land (1 lsl (proc mod 63)) <> 0
 
 let set_cached t ~proc addr =
-  let i = (addr * t.mask_words) + (proc / 63) in
-  t.readers.(i) <- t.readers.(i) lor (1 lsl (proc mod 63))
+  let r = W.get t.readers addr in
+  if r = 0 then W.set t.readers addr (proc + 1)
+  else if r > 0 then begin
+    if r <> proc + 1 then begin
+      (* second concurrent sharer: spill to a pool block *)
+      let b = alloc_block t in
+      let base = b * t.mask_words in
+      let q = r - 1 in
+      t.blocks.(base + (q / 63)) <-
+        t.blocks.(base + (q / 63)) lor (1 lsl (q mod 63));
+      t.blocks.(base + (proc / 63)) <-
+        t.blocks.(base + (proc / 63)) lor (1 lsl (proc mod 63));
+      W.set t.readers addr (-1 - b)
+    end
+  end
+  else
+    let base = ((-1 - r) * t.mask_words) + (proc / 63) in
+    t.blocks.(base) <- t.blocks.(base) lor (1 lsl (proc mod 63))
 
-let peek t addr = t.data.(addr)
+let peek t addr = W.get t.data addr
 
 let invalidate t addr =
-  let base = addr * t.mask_words in
-  for i = base to base + t.mask_words - 1 do
-    t.readers.(i) <- 0
-  done;
-  if t.probing then t.inval_by_line.(addr) <- t.inval_by_line.(addr) + 1
+  let r = W.get t.readers addr in
+  if r <> 0 then begin
+    if r < 0 then free_block t (-1 - r);
+    W.set t.readers addr 0
+  end;
+  if t.probing then W.set t.inval_by_line addr (W.get t.inval_by_line addr + 1)
+
+(* the waiter chain is prepended to (a processor parks at most once at a
+   time), so wake in registration order by reversing it in place first —
+   all link surgery in [wnext], nothing allocated *)
+let rec rev_chain t acc cur =
+  if cur = 0 then acc
+  else begin
+    let p = cur - 1 in
+    let nxt = t.wnext.(p) in
+    t.wnext.(p) <- acc;
+    rev_chain t (p + 1) nxt
+  end
+
+let rec wake_chain t cur change_time =
+  if cur <> 0 then begin
+    let p = cur - 1 in
+    let nxt = t.wnext.(p) in
+    t.wnext.(p) <- 0;
+    t.waker p change_time;
+    wake_chain t nxt change_time
+  end
 
 let notify t addr ~change_time =
-  match t.watchers.(addr) with
-  | [] -> ()
-  | ws ->
-      t.watchers.(addr) <- [];
-      List.iter (fun wake -> wake change_time) (List.rev ws)
+  let h = W.get t.watchers addr in
+  if h <> 0 then begin
+    (* clear before waking: a waiter re-parking during the walk chains
+       onto the fresh head and is only woken by the next change *)
+    W.set t.watchers addr 0;
+    wake_chain t (rev_chain t 0 h) change_time
+  end
 
 let poke t addr v =
   ensure t (addr + 1);
-  t.data.(addr) <- v;
+  W.set t.data addr v;
   invalidate t addr;
   notify t addr ~change_time:0
 
-let watch t ~addr ~wake =
-  ensure t (addr + 1);
-  t.watchers.(addr) <- wake :: t.watchers.(addr)
+let watch t ~addr ~pid =
+  t.wnext.(pid) <- W.get t.watchers addr;
+  W.set t.watchers addr (pid + 1)
 
 let degrade_node t ~node ~factor =
   if factor < 1 then invalid_arg "Mem.degrade_node: factor must be >= 1";
@@ -195,76 +340,107 @@ let miss_latency t ~proc ~addr =
    time service ends. *)
 let serve t ~now ~addr ~occ =
   let occ = occ * node_factor t addr in
-  let start = if t.busy.(addr) > now then t.busy.(addr) else now in
+  let b = W.get t.busy addr in
+  let start = if b > now then b else now in
   let waited = start - now in
   if waited > 0 then begin
     t.queue_wait <- t.queue_wait + waited;
-    t.wait_by_line.(addr) <- t.wait_by_line.(addr) + waited
+    W.set t.wait_by_line addr (W.get t.wait_by_line addr + waited)
   end;
-  t.busy.(addr) <- start + occ;
+  W.set t.busy addr (start + occ);
   start + occ
 
-let read t ~proc ~now addr =
+let out t = t.out
+
+let read_t t ~proc ~now addr =
   if cached t ~proc addr then begin
     t.hits <- t.hits + 1;
-    (now + t.machine.Machine.cache_hit, t.data.(addr))
+    t.out <- W.get t.data addr;
+    now + t.machine.Machine.cache_hit
   end
   else begin
     t.misses <- t.misses + 1;
     if t.probing then begin
-      t.traffic_by_line.(addr) <- t.traffic_by_line.(addr) + 1;
+      W.set t.traffic_by_line addr (W.get t.traffic_by_line addr + 1);
       count_locality t ~proc ~addr
     end;
     let served = serve t ~now ~addr ~occ:t.machine.Machine.read_occupancy in
     set_cached t ~proc addr;
-    (served + miss_latency t ~proc ~addr, t.data.(addr))
+    t.out <- W.get t.data addr;
+    served + miss_latency t ~proc ~addr
   end
 
-let update t ~proc ~now ~addr ~occ f =
+let read t ~proc ~now addr =
+  let completion = read_t t ~proc ~now addr in
+  (completion, t.out)
+
+(* every read-modify-write splits into [rmw_begin] (count, serve the
+   line's directory) and [rmw_commit] (store the new value, park the old
+   one in [out], return the completion time) with the new value computed
+   inline in between — no update closure per access *)
+let rmw_begin t ~proc ~now ~addr ~occ =
   t.updates <- t.updates + 1;
   if t.probing then begin
-    t.traffic_by_line.(addr) <- t.traffic_by_line.(addr) + 1;
+    W.set t.traffic_by_line addr (W.get t.traffic_by_line addr + 1);
     count_locality t ~proc ~addr
   end;
-  t.writer_by_line.(addr) <- proc;
-  let served = serve t ~now ~addr ~occ in
-  let old = t.data.(addr) in
-  let v = f old in
+  W.set t.writer_by_line addr (proc + 1);
+  serve t ~now ~addr ~occ
+
+let rmw_commit t ~proc ~addr ~served ~old v =
   if v <> old then begin
-    t.data.(addr) <- v;
+    W.set t.data addr v;
     invalidate t addr
   end;
   (* even a same-value store serializes and re-triggers spinners' checks *)
   notify t addr ~change_time:served;
   set_cached t ~proc addr;
-  (served + miss_latency t ~proc ~addr, old)
+  t.out <- old;
+  served + miss_latency t ~proc ~addr
 
 let write t ~proc ~now addr v =
   ensure t (addr + 1);
-  let completion, _old =
-    update t ~proc ~now ~addr ~occ:t.machine.Machine.write_occupancy (fun _ ->
-        v)
-  in
-  completion
+  let occ = t.machine.Machine.write_occupancy in
+  let served = rmw_begin t ~proc ~now ~addr ~occ in
+  let old = W.get t.data addr in
+  rmw_commit t ~proc ~addr ~served ~old v
+
+let swap_t t ~proc ~now addr v =
+  let occ = t.machine.Machine.atomic_occupancy in
+  let served = rmw_begin t ~proc ~now ~addr ~occ in
+  let old = W.get t.data addr in
+  rmw_commit t ~proc ~addr ~served ~old v
 
 let swap t ~proc ~now addr v =
-  update t ~proc ~now ~addr ~occ:t.machine.Machine.atomic_occupancy (fun _ ->
-      v)
+  let completion = swap_t t ~proc ~now addr v in
+  (completion, t.out)
+
+let cas_t t ~proc ~now addr ~expected ~desired =
+  let occ = t.machine.Machine.atomic_occupancy in
+  let served = rmw_begin t ~proc ~now ~addr ~occ in
+  let old = W.get t.data addr in
+  let v = if old = expected then desired else old in
+  let completion = rmw_commit t ~proc ~addr ~served ~old v in
+  t.out <- (if old = expected then 1 else 0);
+  completion
 
 let cas t ~proc ~now addr ~expected ~desired =
-  let completion, old =
-    update t ~proc ~now ~addr ~occ:t.machine.Machine.atomic_occupancy
-      (fun old -> if old = expected then desired else old)
-  in
-  (completion, old = expected)
+  let completion = cas_t t ~proc ~now addr ~expected ~desired in
+  (completion, t.out <> 0)
+
+let faa_t t ~proc ~now addr delta =
+  let occ = t.machine.Machine.atomic_occupancy in
+  let served = rmw_begin t ~proc ~now ~addr ~occ in
+  let old = W.get t.data addr in
+  rmw_commit t ~proc ~addr ~served ~old (old + delta)
 
 let faa t ~proc ~now addr delta =
-  update t ~proc ~now ~addr ~occ:t.machine.Machine.atomic_occupancy (fun old ->
-      old + delta)
+  let completion = faa_t t ~proc ~now addr delta in
+  (completion, t.out)
 
 let last_writer t addr =
-  let w = t.writer_by_line.(addr) in
-  if w < 0 then None else Some w
+  let w = W.get t.writer_by_line addr in
+  if w = 0 then None else Some (w - 1)
 
 let hits t = t.hits
 let misses t = t.misses
@@ -274,23 +450,26 @@ let queue_wait t = t.queue_wait
 let hot_lines t k =
   let acc = ref [] in
   for addr = t.next_free - 1 downto 0 do
-    let w = t.wait_by_line.(addr) in
+    let w = W.get t.wait_by_line addr in
     if w > 0 then acc := (addr, w) :: !acc
   done;
   (* hottest first; ties broken by ascending address (deterministic) *)
   List.stable_sort (fun (_, a) (_, b) -> compare b a) !acc
   |> List.filteri (fun i _ -> i < k)
 
-let line_traffic t addr = t.traffic_by_line.(addr)
-let line_invalidations t addr = t.inval_by_line.(addr)
-let line_wait t addr = t.wait_by_line.(addr)
+let line_traffic t addr =
+  if addr < W.dim t.traffic_by_line then W.get t.traffic_by_line addr else 0
+
+let line_invalidations t addr =
+  if addr < W.dim t.inval_by_line then W.get t.inval_by_line addr else 0
+
+let line_wait t addr = W.get t.wait_by_line addr
 
 let line_profile t =
   let acc = ref [] in
   for addr = t.next_free - 1 downto 0 do
-    let w = t.wait_by_line.(addr) and tr = t.traffic_by_line.(addr) in
-    if w > 0 || tr > 0 then
-      acc := (addr, w, tr, t.inval_by_line.(addr)) :: !acc
+    let w = W.get t.wait_by_line addr and tr = line_traffic t addr in
+    if w > 0 || tr > 0 then acc := (addr, w, tr, line_invalidations t addr) :: !acc
   done;
   List.sort
     (fun (a1, w1, t1, _) (a2, w2, t2, _) ->

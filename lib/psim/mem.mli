@@ -94,7 +94,21 @@ val degrade_node : t -> node:int -> factor:int -> unit
     a fault-injection knob modelling a failing or thermally throttled
     node.  Lines homed on other modules are unaffected. *)
 
-(** {1 Costed operations (engine only)} *)
+(** {1 Costed operations (engine only)}
+
+    Each operation comes in two shapes.  The [_t] variant returns only
+    the completion time and parks its secondary result (value read, old
+    value, CAS success as 1/0) in a slot read back with {!out} — the
+    engine's hot path, which must not box a tuple per memory access.
+    The tupled variant wraps it for ordinary callers and tests.  The
+    [out] slot is only valid until the next costed operation. *)
+
+val out : t -> int
+(** secondary result of the most recent [_t] operation *)
+
+val read_t : t -> proc:int -> now:int -> int -> int
+(** [read_t t ~proc ~now addr] returns the completion time; the value
+    read is in {!out}. *)
 
 val read : t -> proc:int -> now:int -> int -> int * int
 (** [read t ~proc ~now addr] returns [(completion_time, value)]. *)
@@ -102,21 +116,43 @@ val read : t -> proc:int -> now:int -> int -> int * int
 val write : t -> proc:int -> now:int -> int -> int -> int
 (** [write t ~proc ~now addr v] returns the completion time. *)
 
+val swap_t : t -> proc:int -> now:int -> int -> int -> int
+(** register-to-memory swap; completion time returned, old value in
+    {!out}. *)
+
 val swap : t -> proc:int -> now:int -> int -> int -> int * int
 (** register-to-memory swap; returns [(completion_time, old_value)]. *)
+
+val cas_t : t -> proc:int -> now:int -> int -> expected:int -> desired:int -> int
+(** compare-and-swap; completion time returned, success (1/0) in
+    {!out}. *)
 
 val cas : t -> proc:int -> now:int -> int -> expected:int -> desired:int -> int * bool
 (** compare-and-swap; returns [(completion_time, success)]. *)
 
+val faa_t : t -> proc:int -> now:int -> int -> int -> int
+(** fetch-and-add; completion time returned, old value in {!out}. *)
+
 val faa : t -> proc:int -> now:int -> int -> int -> int * int
 (** fetch-and-add; returns [(completion_time, old_value)]. *)
 
-(** {1 Spin-wait assist} *)
+(** {1 Spin-wait assist}
 
-val watch : t -> addr:int -> wake:(int -> unit) -> unit
-(** [watch t ~addr ~wake] registers [wake]; the next write or atomic update
-    touching [addr] calls [wake change_completion_time] (once; the waiter
-    re-arms if needed).  This models spinning on a cached copy: the spinner
+    Waiters are an intrusive per-line chain of processor ids — parking
+    and waking allocate nothing — delivered through a single callback
+    the engine registers once per run. *)
+
+val set_waker : t -> (int -> int -> unit) -> unit
+(** [set_waker t f] registers the wake callback: [f pid change_time]
+    delivers a line change to parked processor [pid].  Registered once
+    per run by {!Sim.run}; the default is a no-op. *)
+
+val watch : t -> addr:int -> pid:int -> unit
+(** [watch t ~addr ~pid] parks [pid] on [addr]; the next write or atomic
+    update touching [addr] wakes it through the {!set_waker} callback
+    (once; the waiter re-arms if needed).  Waiters are woken in
+    registration order.  A processor may be parked on at most one line
+    at a time.  This models spinning on a cached copy: the spinner
     causes no traffic until the line is invalidated. *)
 
 (** {1 Traffic counters} *)

@@ -1,21 +1,43 @@
+(* The effect protocol between Api and this engine is private to the
+   two modules, and it is built for zero per-operation allocation: every
+   hot effect is a *constant* constructor (a constant constructor
+   performs without boxing a payload), with its operands passed through
+   a domain-local slot record ([args]) that Api fills immediately before
+   [Effect.perform] and the handler reads immediately after.  The
+   hand-off is safe because performing an effect is synchronous within
+   the domain: nothing can run between the slot writes, the [effc]
+   dispatch, and the handler closure reading the slots back.  Slots are
+   domain-local (not global) because independent simulations run
+   concurrently on Pool worker domains. *)
+
+type args = {
+  mutable a : int;
+  mutable b : int;
+  mutable c : int;
+  mutable key : string;
+}
+
+let args_key = Domain.DLS.new_key (fun () -> { a = 0; b = 0; c = 0; key = "" })
+let args () = Domain.DLS.get args_key
+
 type _ Effect.t +=
-  | Read : int -> int Effect.t
-  | Write : (int * int) -> unit Effect.t
-  | Swap : (int * int) -> int Effect.t
-  | Cas : (int * int * int) -> bool Effect.t
-  | Faa : (int * int) -> int Effect.t
-  | Work : int -> unit Effect.t
-  | Wait_change : (int * int) -> int Effect.t
+  | Read : int Effect.t  (** addr in [a]; returns the value read *)
+  | Write : unit Effect.t  (** addr in [a], value in [b] *)
+  | Swap : int Effect.t  (** addr in [a], value in [b]; returns the old *)
+  | Cas : bool Effect.t  (** addr in [a], expected in [b], desired in [c] *)
+  | Faa : int Effect.t  (** addr in [a], delta in [b]; returns the old *)
+  | Work : unit Effect.t  (** cycle count in [a] *)
+  | Wait_change : int Effect.t  (** addr in [a], stale value in [b] *)
   | Now : int Effect.t
   | Self : int Effect.t
-  | Rand : int -> int Effect.t
+  | Rand : int Effect.t  (** exclusive bound in [a] *)
   | Flip : bool Effect.t
-  | Record : (string * int) -> unit Effect.t
+  | Record : unit Effect.t  (** stat key in [key], sample in [a] *)
   | Progress : unit Effect.t
-  | Count : (string * int) -> unit Effect.t
-  | Mark : (string * int) -> unit Effect.t
-  | Span : (string * int) -> unit Effect.t
-  | Note : (int * int * int) -> unit Effect.t
+  | Count : unit Effect.t  (** metrics key in [key], sample in [a] *)
+  | Mark : unit Effect.t  (** name in [key], argument in [a] *)
+  | Span : unit Effect.t  (** name in [key], start cycle in [a] *)
+  | Note : unit Effect.t  (** tag in [a], payload in [b] and [c] *)
 
 exception Deadlock of string
 exception Cycle_limit of int
@@ -64,6 +86,7 @@ let pp_diagnosis ppf d =
 
 type result = {
   cycles : int;
+  events : int;
   stats : Stats.t;
   mem : Mem.t;
   hits : int;
@@ -75,6 +98,19 @@ type result = {
 
 (* engine-side view of each processor, for the progress diagnosis *)
 type pstate = Running | Parked of int | Crashed | Done
+
+(* cross-run accumulators for the harness's allocation-discipline gauge:
+   total events executed and minor words allocated between the start of
+   the event loop and run completion, summed across every run in the
+   process (atomically, so Pool worker domains contribute too) *)
+let total_events = Atomic.make 0
+let total_minor_words = Atomic.make 0
+
+let harness_totals () = (Atomic.get total_events, Atomic.get total_minor_words)
+
+let reset_harness_totals () =
+  Atomic.set total_events 0;
+  Atomic.set total_minor_words 0
 
 let run ?machine ?(seed = 1) ?(policy = Sched.fifo) ?probe
     ?(max_cycles = 2_000_000_000) ?watchdog ?(max_wait_wakeups = 1_000_000)
@@ -97,7 +133,26 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo) ?probe
   let rngs = Array.init nprocs (Rng.split master) in
   let ptime = Array.make nprocs 0 in
   let state = Array.make nprocs Running in
-  let last_access = Array.make nprocs (Sched.Work, -1) in
+  (* the two halves of "last access" live in separate unboxed arrays so
+     recording one costs two stores, not a tuple *)
+  let last_op = Array.make nprocs Sched.Work in
+  let last_addr = Array.make nprocs (-1) in
+  (* each processor has at most one outstanding continuation; on the
+     default-policy fast path it is stashed here and the matching
+     [Evq.push_resume] event carries only (pid, value) — no closure.
+     The [Obj.repr] is sound: slot [pid] is only ever [Obj.obj]'d back
+     at the continuation type it was stored at (the loop's [continue]
+     type-pretends [int], and every resumed value is an immediate). *)
+  let konts : Obj.t array = Array.make nprocs (Obj.repr 0) in
+  (* per-processor wait-in-progress registers: the [Wait_change] state
+     machine below keeps its whole context here (address, stale value,
+     current attempt's check time, wakeup count), so parking, waking and
+     re-arming allocate nothing *)
+  let wait_addr = Array.make nprocs (-1) in
+  let wait_v0 = Array.make nprocs 0 in
+  let wait_t = Array.make nprocs 0 in
+  let wait_wakeups = Array.make nprocs 0 in
+  let slots = Domain.DLS.get args_key in
   let running = ref nprocs in
   let faulted = ref 0 in
   let clock = ref 0 in
@@ -112,9 +167,7 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo) ?probe
       (fun p s ->
         match s with
         | Parked addr -> parked := (p, addr) :: !parked
-        | Running ->
-            let op, addr = last_access.(p) in
-            spinning := (p, op, addr) :: !spinning
+        | Running -> spinning := (p, last_op.(p), last_addr.(p)) :: !spinning
         | Crashed | Done -> ())
       state;
     let addrs =
@@ -151,211 +204,285 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo) ?probe
         s.Probe.emit ~proc:pid ~time:finish
           (Probe.Mem_op { kind; addr; node = home addr; issued })
   in
-  let handler pid : (unit, unit) Effect.Deep.handler =
-    let open Effect.Deep in
-    let resume_at : type a. Sched.op -> int -> (a, unit) continuation -> a -> unit =
-     fun op time k v ->
-      if policy == Sched.fifo then begin
-        (* the default policy ignores its input and always answers
-           [Run { delay = 0; weight = 0 }]: skip building the info
-           record and matching the verdict on the hot path *)
-        incr step;
-        Evq.push q ~time (fun () ->
-            ptime.(pid) <- time;
-            continue k v)
-      end
-      else
-      let verdict = policy { Sched.proc = pid; time; step = !step; op } in
+  (* Wait_change state machine, allocation-free: the effect handler
+     loads the per-processor wait registers and calls [wait_attempt];
+     each attempt reads the line (costed) and schedules the matching
+     preallocated check closure; the check peeks, then either resumes
+     the continuation parked in [konts] or parks the processor on the
+     line's intrusive waiter chain.  A line change re-enters
+     [wait_attempt] through the single waker callback. *)
+  let wait_check pid =
+    let addr = wait_addr.(pid) in
+    let t = wait_t.(pid) in
+    let current = Mem.peek mem addr in
+    if current <> wait_v0.(pid) then begin
+      ptime.(pid) <- t;
+      (* emitted on every successful wait, parked or not: a completed
+         Wait_change always means the processor observed another's
+         write, so the race sanitizer needs the edge even when the
+         change landed before the first check *)
+      (match sink with
+      | Some s -> s.Probe.emit ~proc:pid ~time:t (Probe.Wake { addr })
+      | None -> ());
+      state.(pid) <- Running;
+      let k : (int, unit) Effect.Deep.continuation = Obj.obj konts.(pid) in
+      Effect.Deep.continue k current
+    end
+    else begin
+      (match (sink, state.(pid)) with
+      | Some s, Running ->
+          (* first unsuccessful check: the processor settles onto its
+             cached copy *)
+          s.Probe.emit ~proc:pid ~time:t (Probe.Park { addr })
+      | _ -> ());
+      state.(pid) <- Parked addr;
+      Mem.watch mem ~addr ~pid
+    end
+  in
+  let checks = Array.init nprocs (fun pid () -> wait_check pid) in
+  let wait_attempt pid now =
+    if wait_wakeups.(pid) > max_wait_wakeups then
+      raise
+        (Spin_limit
+           { proc = pid; addr = wait_addr.(pid); wakeups = wait_wakeups.(pid) });
+    wait_wakeups.(pid) <- wait_wakeups.(pid) + 1;
+    (* check and (if needed) arm the watcher inside one event, so no
+       write can slip between them *)
+    let t = Mem.read_t mem ~proc:pid ~now wait_addr.(pid) in
+    if policy == Sched.fifo then begin
+      (* same fast path as [resume_at] *)
+      incr step;
+      wait_t.(pid) <- t;
+      Evq.push q ~time:t checks.(pid)
+    end
+    else
+      let verdict =
+        policy { Sched.proc = pid; time = t; step = !step; op = Sched.Wait }
+      in
       incr step;
       match verdict with
       | Sched.Stall_forever ->
           (match sink with
-          | Some s -> s.Probe.emit ~proc:pid ~time Probe.Crash
+          | Some s -> s.Probe.emit ~proc:pid ~time:t Probe.Crash
           | None -> ());
           crash pid
-      | Sched.Pause n ->
-          let until = time + max 0 n in
-          (match sink with
-          | Some s when n > 0 ->
-              s.Probe.emit ~proc:pid ~time (Probe.Stall { until })
-          | _ -> ());
-          Evq.push q ~time:until (fun () ->
-              ptime.(pid) <- until;
-              continue k v)
-      | Sched.Run d ->
-          let time = time + max 0 d.Sched.delay in
-          Evq.push q ~time ~weight:d.Sched.weight (fun () ->
-              ptime.(pid) <- time;
-              continue k v)
+      | Sched.Pause _ | Sched.Run _ ->
+          let t, weight =
+            match verdict with
+            | Sched.Pause n -> (t + max 0 n, 0)
+            | Sched.Run d -> (t + max 0 d.Sched.delay, d.Sched.weight)
+            | Sched.Stall_forever -> assert false
+          in
+          wait_t.(pid) <- t;
+          Evq.push q ~time:t ~weight checks.(pid)
+  in
+  Mem.set_waker mem (fun pid change ->
+      wait_attempt pid (if change > wait_t.(pid) then change else wait_t.(pid)));
+  let handler pid : (unit, unit) Effect.Deep.handler =
+    let open Effect.Deep in
+    let resume_at : type a.
+        Sched.op -> int -> (a, unit) continuation -> a -> unit =
+     fun op time k v ->
+      if policy == Sched.fifo then begin
+        (* the default policy ignores its input and always answers
+           [Run { delay = 0; weight = 0 }]: skip building the info
+           record and matching the verdict — and skip the resume
+           closure altogether.  The continuation parks in [konts] and
+           the event carries (pid, value); the loop reconnects them.
+           Sound because every effect's answer is an immediate. *)
+        incr step;
+        konts.(pid) <- Obj.repr k;
+        Evq.push_resume q ~time ~pid ~v:(Obj.magic v : int)
+      end
+      else
+        let verdict = policy { Sched.proc = pid; time; step = !step; op } in
+        incr step;
+        match verdict with
+        | Sched.Stall_forever ->
+            (match sink with
+            | Some s -> s.Probe.emit ~proc:pid ~time Probe.Crash
+            | None -> ());
+            crash pid
+        | Sched.Pause n ->
+            let until = time + max 0 n in
+            (match sink with
+            | Some s when n > 0 ->
+                s.Probe.emit ~proc:pid ~time (Probe.Stall { until })
+            | _ -> ());
+            Evq.push q ~time:until (fun () ->
+                ptime.(pid) <- until;
+                continue k v)
+        | Sched.Run d ->
+            let time = time + max 0 d.Sched.delay in
+            Evq.push q ~time ~weight:d.Sched.weight (fun () ->
+                ptime.(pid) <- time;
+                continue k v)
     in
+    (* one preallocated closure (and [Some] cell) per effect kind per
+       processor: [effc] only ever returns these, so dispatching an
+       effect allocates nothing beyond the runtime's continuation *)
+    let k_read =
+     fun (k : (int, unit) continuation) ->
+      let addr = slots.a in
+      last_op.(pid) <- Sched.Read;
+      last_addr.(pid) <- addr;
+      let issued = ptime.(pid) in
+      let t = Mem.read_t mem ~proc:pid ~now:issued addr in
+      emit_mem pid Probe.Read addr ~issued ~finish:t;
+      resume_at Sched.Read t k (Mem.out mem)
+    in
+    let some_read = Some k_read in
+    let k_write =
+     fun (k : (unit, unit) continuation) ->
+      let addr = slots.a and v = slots.b in
+      last_op.(pid) <- Sched.Write;
+      last_addr.(pid) <- addr;
+      let issued = ptime.(pid) in
+      let t = Mem.write mem ~proc:pid ~now:issued addr v in
+      emit_mem pid Probe.Write addr ~issued ~finish:t;
+      resume_at Sched.Write t k ()
+    in
+    let some_write = Some k_write in
+    let k_swap =
+     fun (k : (int, unit) continuation) ->
+      let addr = slots.a and v = slots.b in
+      last_op.(pid) <- Sched.Swap;
+      last_addr.(pid) <- addr;
+      let issued = ptime.(pid) in
+      let t = Mem.swap_t mem ~proc:pid ~now:issued addr v in
+      emit_mem pid Probe.Swap addr ~issued ~finish:t;
+      resume_at Sched.Swap t k (Mem.out mem)
+    in
+    let some_swap = Some k_swap in
+    let k_cas =
+     fun (k : (bool, unit) continuation) ->
+      let addr = slots.a and expected = slots.b and desired = slots.c in
+      last_op.(pid) <- Sched.Cas;
+      last_addr.(pid) <- addr;
+      let issued = ptime.(pid) in
+      let t = Mem.cas_t mem ~proc:pid ~now:issued addr ~expected ~desired in
+      let ok = Mem.out mem <> 0 in
+      (match metrics with
+      | Some m -> Stats.record m (if ok then "cas.ok" else "cas.fail") 1
+      | None -> ());
+      emit_mem pid
+        (if ok then Probe.Cas_ok else Probe.Cas_fail)
+        addr ~issued ~finish:t;
+      resume_at Sched.Cas t k ok
+    in
+    let some_cas = Some k_cas in
+    let k_faa =
+     fun (k : (int, unit) continuation) ->
+      let addr = slots.a and d = slots.b in
+      last_op.(pid) <- Sched.Faa;
+      last_addr.(pid) <- addr;
+      let issued = ptime.(pid) in
+      let t = Mem.faa_t mem ~proc:pid ~now:issued addr d in
+      emit_mem pid Probe.Faa addr ~issued ~finish:t;
+      resume_at Sched.Faa t k (Mem.out mem)
+    in
+    let some_faa = Some k_faa in
+    let k_work =
+     fun (k : (unit, unit) continuation) ->
+      let n = slots.a in
+      if n <= 0 then continue k ()
+      else resume_at Sched.Work (ptime.(pid) + n) k ()
+    in
+    let some_work = Some k_work in
+    let k_wait =
+     fun (k : (int, unit) continuation) ->
+      let addr = slots.a and v0 = slots.b in
+      last_op.(pid) <- Sched.Wait;
+      last_addr.(pid) <- addr;
+      konts.(pid) <- Obj.repr k;
+      wait_addr.(pid) <- addr;
+      wait_v0.(pid) <- v0;
+      wait_wakeups.(pid) <- 0;
+      wait_attempt pid ptime.(pid)
+    in
+    let some_wait = Some k_wait in
+    let k_now = fun (k : (int, unit) continuation) -> continue k ptime.(pid) in
+    let some_now = Some k_now in
+    let k_self = fun (k : (int, unit) continuation) -> continue k pid in
+    let some_self = Some k_self in
+    let k_rand =
+     fun (k : (int, unit) continuation) ->
+      continue k (Rng.int rngs.(pid) slots.a)
+    in
+    let some_rand = Some k_rand in
+    let k_flip =
+     fun (k : (bool, unit) continuation) -> continue k (Rng.bool rngs.(pid))
+    in
+    let some_flip = Some k_flip in
+    let k_record =
+     fun (k : (unit, unit) continuation) ->
+      Stats.record stats slots.key slots.a;
+      continue k ()
+    in
+    let some_record = Some k_record in
+    let k_progress =
+     fun (k : (unit, unit) continuation) ->
+      last_progress := max !last_progress ptime.(pid);
+      continue k ()
+    in
+    let some_progress = Some k_progress in
+    let k_count =
+     fun (k : (unit, unit) continuation) ->
+      (match metrics with
+      | Some m -> Stats.record m slots.key slots.a
+      | None -> ());
+      continue k ()
+    in
+    let some_count = Some k_count in
+    let k_mark =
+     fun (k : (unit, unit) continuation) ->
+      (match sink with
+      | Some s ->
+          s.Probe.emit ~proc:pid ~time:ptime.(pid)
+            (Probe.Mark { name = slots.key; arg = slots.a })
+      | None -> ());
+      continue k ()
+    in
+    let some_mark = Some k_mark in
+    let k_span =
+     fun (k : (unit, unit) continuation) ->
+      (match sink with
+      | Some s ->
+          s.Probe.emit ~proc:pid ~time:ptime.(pid)
+            (Probe.Span { name = slots.key; start = slots.a })
+      | None -> ());
+      continue k ()
+    in
+    let some_span = Some k_span in
+    let k_note =
+     fun (k : (unit, unit) continuation) ->
+      (match notes with
+      | Some n ->
+          n.Probe.note ~proc:pid ~time:ptime.(pid) ~tag:slots.a ~a:slots.b
+            ~b:slots.c
+      | None -> ());
+      continue k ()
+    in
+    let some_note = Some k_note in
     let effc : type b. b Effect.t -> ((b, unit) continuation -> unit) option =
       function
-      | Read addr ->
-          Some
-            (fun k ->
-              last_access.(pid) <- (Sched.Read, addr);
-              let issued = ptime.(pid) in
-              let t, v = Mem.read mem ~proc:pid ~now:issued addr in
-              emit_mem pid Probe.Read addr ~issued ~finish:t;
-              resume_at Sched.Read t k v)
-      | Write (addr, v) ->
-          Some
-            (fun k ->
-              last_access.(pid) <- (Sched.Write, addr);
-              let issued = ptime.(pid) in
-              let t = Mem.write mem ~proc:pid ~now:issued addr v in
-              emit_mem pid Probe.Write addr ~issued ~finish:t;
-              resume_at Sched.Write t k ())
-      | Swap (addr, v) ->
-          Some
-            (fun k ->
-              last_access.(pid) <- (Sched.Swap, addr);
-              let issued = ptime.(pid) in
-              let t, old = Mem.swap mem ~proc:pid ~now:issued addr v in
-              emit_mem pid Probe.Swap addr ~issued ~finish:t;
-              resume_at Sched.Swap t k old)
-      | Cas (addr, expected, desired) ->
-          Some
-            (fun k ->
-              last_access.(pid) <- (Sched.Cas, addr);
-              let issued = ptime.(pid) in
-              let t, ok =
-                Mem.cas mem ~proc:pid ~now:issued addr ~expected ~desired
-              in
-              (match metrics with
-              | Some m -> Stats.record m (if ok then "cas.ok" else "cas.fail") 1
-              | None -> ());
-              emit_mem pid
-                (if ok then Probe.Cas_ok else Probe.Cas_fail)
-                addr ~issued ~finish:t;
-              resume_at Sched.Cas t k ok)
-      | Faa (addr, d) ->
-          Some
-            (fun k ->
-              last_access.(pid) <- (Sched.Faa, addr);
-              let issued = ptime.(pid) in
-              let t, old = Mem.faa mem ~proc:pid ~now:issued addr d in
-              emit_mem pid Probe.Faa addr ~issued ~finish:t;
-              resume_at Sched.Faa t k old)
-      | Work n ->
-          Some
-            (fun k ->
-              if n <= 0 then continue k ()
-              else resume_at Sched.Work (ptime.(pid) + n) k ())
-      | Wait_change (addr, v0) ->
-          Some
-            (fun k ->
-              last_access.(pid) <- (Sched.Wait, addr);
-              let wakeups = ref 0 in
-              let rec attempt now =
-                if !wakeups > max_wait_wakeups then
-                  raise
-                    (Spin_limit { proc = pid; addr; wakeups = !wakeups });
-                incr wakeups;
-                let t, _ = Mem.read mem ~proc:pid ~now addr in
-                (* check and (if needed) arm the watcher inside one
-                   event, so no write can slip between them *)
-                let arm t () =
-                  let current = Mem.peek mem addr in
-                  if current <> v0 then begin
-                    ptime.(pid) <- t;
-                    (* emitted on every successful wait, parked or
-                       not: a completed Wait_change always means the
-                       processor observed another's write, so the
-                       race sanitizer needs the edge even when the
-                       change landed before the first check *)
-                    (match sink with
-                    | Some s ->
-                        s.Probe.emit ~proc:pid ~time:t (Probe.Wake { addr })
-                    | None -> ());
-                    state.(pid) <- Running;
-                    continue k current
-                  end
-                  else begin
-                    (match (sink, state.(pid)) with
-                    | Some s, Running ->
-                        (* first unsuccessful check: the processor
-                           settles onto its cached copy *)
-                        s.Probe.emit ~proc:pid ~time:t (Probe.Park { addr })
-                    | _ -> ());
-                    state.(pid) <- Parked addr;
-                    Mem.watch mem ~addr ~wake:(fun change ->
-                        attempt (if change > t then change else t))
-                  end
-                in
-                if policy == Sched.fifo then begin
-                  (* same fast path as [resume_at] *)
-                  incr step;
-                  Evq.push q ~time:t (arm t)
-                end
-                else
-                  let verdict =
-                    policy
-                      { Sched.proc = pid; time = t; step = !step; op = Sched.Wait }
-                  in
-                  incr step;
-                  match verdict with
-                  | Sched.Stall_forever ->
-                      (match sink with
-                      | Some s -> s.Probe.emit ~proc:pid ~time:t Probe.Crash
-                      | None -> ());
-                      crash pid
-                  | Sched.Pause _ | Sched.Run _ ->
-                      let t, weight =
-                        match verdict with
-                        | Sched.Pause n -> (t + max 0 n, 0)
-                        | Sched.Run d -> (t + max 0 d.Sched.delay, d.Sched.weight)
-                        | Sched.Stall_forever -> assert false
-                      in
-                      Evq.push q ~time:t ~weight (arm t)
-              in
-              attempt ptime.(pid))
-      | Now -> Some (fun k -> continue k ptime.(pid))
-      | Self -> Some (fun k -> continue k pid)
-      | Rand n -> Some (fun k -> continue k (Rng.int rngs.(pid) n))
-      | Flip -> Some (fun k -> continue k (Rng.bool rngs.(pid)))
-      | Record (key, v) ->
-          Some
-            (fun k ->
-              Stats.record stats key v;
-              continue k ())
-      | Progress ->
-          Some
-            (fun k ->
-              last_progress := max !last_progress ptime.(pid);
-              continue k ())
-      | Count (key, v) ->
-          Some
-            (fun k ->
-              (match metrics with
-              | Some m -> Stats.record m key v
-              | None -> ());
-              continue k ())
-      | Mark (name, arg) ->
-          Some
-            (fun k ->
-              (match sink with
-              | Some s ->
-                  s.Probe.emit ~proc:pid ~time:ptime.(pid)
-                    (Probe.Mark { name; arg })
-              | None -> ());
-              continue k ())
-      | Span (name, start) ->
-          Some
-            (fun k ->
-              (match sink with
-              | Some s ->
-                  s.Probe.emit ~proc:pid ~time:ptime.(pid)
-                    (Probe.Span { name; start })
-              | None -> ());
-              continue k ())
-      | Note (tag, a, b) ->
-          Some
-            (fun k ->
-              (match notes with
-              | Some n -> n.Probe.note ~proc:pid ~time:ptime.(pid) ~tag ~a ~b
-              | None -> ());
-              continue k ())
+      | Read -> some_read
+      | Write -> some_write
+      | Swap -> some_swap
+      | Cas -> some_cas
+      | Faa -> some_faa
+      | Work -> some_work
+      | Wait_change -> some_wait
+      | Now -> some_now
+      | Self -> some_self
+      | Rand -> some_rand
+      | Flip -> some_flip
+      | Record -> some_record
+      | Progress -> some_progress
+      | Count -> some_count
+      | Mark -> some_mark
+      | Span -> some_span
+      | Note -> some_note
       | _ -> None
     in
     {
@@ -372,6 +499,7 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo) ?probe
   Mem.set_probing mem (probe <> None);
   Mem.set_metrics mem metrics;
   Fun.protect ~finally:(fun () -> Probe.set_active prev_active) @@ fun () ->
+  let minor0 = Gc.minor_words () in
   for pid = 0 to nprocs - 1 do
     Effect.Deep.match_with (fun () -> program shared pid) () (handler pid)
   done;
@@ -394,14 +522,26 @@ let run ?machine ?(seed = 1) ?(policy = Sched.fifo) ?probe
         | Some k when t - !last_progress > k ->
             raise (Progress_failure (diagnose "watchdog expired"))
         | _ -> ());
-        e.Evq.run ();
+        let pid = e.Evq.pid in
+        if pid >= 0 then begin
+          ptime.(pid) <- t;
+          let k : (int, unit) Effect.Deep.continuation = Obj.obj konts.(pid) in
+          Effect.Deep.continue k (Obj.magic e.Evq.v : int)
+        end
+        else e.Evq.run ();
         loop ()
       end
   in
   loop ();
+  let events = Evq.pops q in
+  ignore (Atomic.fetch_and_add total_events events);
+  ignore
+    (Atomic.fetch_and_add total_minor_words
+       (int_of_float (Gc.minor_words () -. minor0)));
   ( shared,
     {
       cycles = !clock;
+      events;
       stats;
       mem;
       hits = Mem.hits mem;

@@ -12,38 +12,61 @@
     {!Progress_failure} once no event remains), or is crash-stopped by a
     fault-injecting policy ({!Sched.Stall_forever}). *)
 
+type args = {
+  mutable a : int;
+  mutable b : int;
+  mutable c : int;
+  mutable key : string;
+}
+(** Operand slots for the effect protocol.  Every payload-bearing
+    request is a {e constant} effect constructor (performing one
+    allocates nothing) whose operands travel through the calling
+    domain's slot record: {!Api} writes the slots and performs; the
+    engine reads them back inside the same synchronous dispatch.  The
+    record is domain-local because independent simulations run
+    concurrently on {!Pqworkload.Pool} worker domains; within a domain
+    nothing can intervene between the write, the perform and the
+    handler's read.  Only {!Api} should touch this. *)
+
+val args : unit -> args
+(** this domain's operand slots *)
+
 type _ Effect.t +=
-  | Read : int -> int Effect.t
-  | Write : (int * int) -> unit Effect.t
-  | Swap : (int * int) -> int Effect.t
-  | Cas : (int * int * int) -> bool Effect.t  (** addr, expected, desired *)
-  | Faa : (int * int) -> int Effect.t
-  | Work : int -> unit Effect.t  (** local computation for n cycles *)
-  | Wait_change : (int * int) -> int Effect.t
-      (** [Wait_change (addr, v)]: block until [mem.(addr) <> v]; returns the
-          observed new value.  Models spinning on a cached copy. *)
+  | Read : int Effect.t  (** addr in [a]; returns the value read *)
+  | Write : unit Effect.t  (** addr in [a], value in [b] *)
+  | Swap : int Effect.t  (** addr in [a], value in [b]; returns the old *)
+  | Cas : bool Effect.t  (** addr in [a], expected in [b], desired in [c] *)
+  | Faa : int Effect.t  (** addr in [a], delta in [b]; returns the old *)
+  | Work : unit Effect.t
+      (** local computation for [a] cycles (no memory traffic) *)
+  | Wait_change : int Effect.t
+      (** addr in [a], stale value in [b]: block until [mem.(addr) <> b];
+          returns the observed new value.  Models spinning on a cached
+          copy. *)
   | Now : int Effect.t
   | Self : int Effect.t
-  | Rand : int -> int Effect.t
+  | Rand : int Effect.t  (** exclusive bound in [a] *)
   | Flip : bool Effect.t
-  | Record : (string * int) -> unit Effect.t
+  | Record : unit Effect.t  (** stat key in [key], sample in [a] *)
   | Progress : unit Effect.t
       (** operation-completion marker: feeds the watchdog.  Workloads
           perform it after every finished high-level operation. *)
-  | Count : (string * int) -> unit Effect.t
-      (** record a sample into the attached probe's metrics registry;
-          dropped when the run carries no probe.  Perform via
-          {!Api.count}, which guards on {!Api.probing}. *)
-  | Mark : (string * int) -> unit Effect.t
-      (** instant trace annotation (name, argument) at the current cycle *)
-  | Span : (string * int) -> unit Effect.t
-      (** completed interval (name, start cycle) ending now *)
-  | Note : (int * int * int) -> unit Effect.t
-      (** all-integer annotation (tag, a, b) delivered to the attached
-          probe's [notes] receiver; dropped when the run carries none.
-          The allocation-free channel streaming invariant monitors
-          consume.  Perform via {!Api.note}, which guards on
-          {!Api.probing}. *)
+  | Count : unit Effect.t
+      (** key in [key], sample in [a]: record into the attached probe's
+          metrics registry; dropped when the run carries no probe.
+          Perform via {!Api.count}, which guards on {!Api.probing}. *)
+  | Mark : unit Effect.t
+      (** instant trace annotation (name in [key], argument in [a]) at
+          the current cycle *)
+  | Span : unit Effect.t
+      (** completed interval (name in [key], start cycle in [a]) ending
+          now *)
+  | Note : unit Effect.t
+      (** all-integer annotation (tag in [a], payload in [b], [c])
+          delivered to the attached probe's [notes] receiver; dropped
+          when the run carries none.  The allocation-free channel the
+          streaming invariant monitors consume.  Perform via
+          {!Api.note}, which guards on {!Api.probing}. *)
 
 exception Deadlock of string
 (** raised when runnable processors remain but no event is pending and no
@@ -81,6 +104,7 @@ val pp_diagnosis : Format.formatter -> diagnosis -> unit
 
 type result = {
   cycles : int;  (** cycle count when the last live processor finished *)
+  events : int;  (** engine events executed (event-queue pops) *)
   stats : Stats.t;  (** samples recorded via the [Record] effect *)
   mem : Mem.t;  (** final memory, for post-run verification *)
   hits : int;
@@ -89,6 +113,16 @@ type result = {
   queue_wait : int;
   faulted : int list;  (** processors crash-stopped by the policy *)
 }
+
+val harness_totals : unit -> int * int
+(** [(events, minor_words)] accumulated across every completed run in
+    the process since the last {!reset_harness_totals} — events executed
+    and minor-heap words allocated between spawn and completion,
+    including runs on Pool worker domains.  The benchmark harness
+    divides them into its minor-words-per-million-events gauge, the
+    engine's allocation-discipline trend metric in BENCH.json. *)
+
+val reset_harness_totals : unit -> unit
 
 val run :
   ?machine:Machine.t ->

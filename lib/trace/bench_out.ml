@@ -12,6 +12,8 @@ type figure = {
 type harness = {
   jobs : int;
   wall_s : float;
+  events : int;
+  minor_words_per_mevents : float;
   experiments : (string * float) list;
   baseline_wall_s : float option;
   speedup : float option;
@@ -164,6 +166,8 @@ let harness_to_json h =
     ([
        ("jobs", Json.Int h.jobs);
        ("wall_s", Json.Float h.wall_s);
+       ("events", Json.Int h.events);
+       ("minor_words_per_mevents", Json.Float h.minor_words_per_mevents);
        ( "experiments",
          Json.List
            (List.map
@@ -395,6 +399,29 @@ let validate_harness ctx j =
   if jobs < 1 then Error (ctx ^ ": jobs must be >= 1")
   else
     let* _ = v_float ctx "wall_s" j in
+    (* the allocation-discipline gauge (events + minor-words rate):
+       optional so pre-pqturbo documents still validate, checked for
+       sanity when present *)
+    let* () =
+      match Json.member "events" j with
+      | None -> Ok ()
+      | Some v -> (
+          match Json.to_int v with
+          | Some e when e >= 0 -> Ok ()
+          | Some _ -> Error (ctx ^ ": negative events count")
+          | None -> Error (ctx ^ ": mistyped integer field \"events\""))
+    in
+    let* () =
+      match Json.member "minor_words_per_mevents" j with
+      | None -> Ok ()
+      | Some v -> (
+          match Json.to_float v with
+          | Some m when m >= 0. -> Ok ()
+          | Some _ -> Error (ctx ^ ": negative minor_words_per_mevents")
+          | None ->
+              Error
+                (ctx ^ ": mistyped number field \"minor_words_per_mevents\""))
+    in
     let* experiments = v_list ctx "experiments" j in
     let* () = all (ctx ^ ".experiments") validate_experiment 0 experiments in
     let opt_float key =

@@ -24,6 +24,13 @@ type figure = {
 type harness = {
   jobs : int;  (** domains used for the experiment sweep *)
   wall_s : float;  (** total wall-clock of the figures phase, seconds *)
+  events : int;
+      (** engine events executed across every simulation of the run
+          ({!Pqsim.Sim.harness_totals}) *)
+  minor_words_per_mevents : float;
+      (** minor-heap words allocated per million engine events — the
+          arena engine's allocation-discipline gauge; trending up means
+          per-event allocation is creeping back in *)
   experiments : (string * float) list;
       (** per-experiment [(figure id, wall seconds)] *)
   baseline_wall_s : float option;

@@ -3,6 +3,11 @@ type scale = { ops : int; max_procs : int; jobs : int }
 let quick = { ops = 15; max_procs = 64; jobs = 1 }
 let full = { ops = 40; max_procs = 256; jobs = 1 }
 
+(* the 1024-processor sweep scale: quick's modest per-point work (the
+   point count is what grows), concurrency uncapped up to 1024 — the
+   regime the arena engine makes routine (`pqbench run scale1k --xl`) *)
+let xl = { ops = 15; max_procs = 1024; jobs = 1 }
+
 (* one write per line so progress from parallel workers doesn't tear *)
 let progress fmt =
   Printf.ksprintf
@@ -542,6 +547,117 @@ let burst_phases scale =
     ~xlabel:"P" data;
   data
 
+(* ------------------------------------------------------------------ *)
+(* pqturbo: the 1024-processor frontier.  Figure 7's axes extended past
+   the paper's 256-processor ceiling onto a multi-socket machine model
+   ({!Pqsim.Machine.scale1k}), with a deep tree (N=1024, height 10) so
+   the tree-of-counters queues traverse ten counter levels and the
+   funnels run their widened four-layer configuration — probing where
+   homogeneous combining saturates, the regime the 1999 paper could
+   never reach. *)
+
+let scale1k_procs = [ 64; 128; 256; 512; 1024 ]
+let scale1k_npriorities = 1024
+
+let scale1k scale =
+  let height = Pqcore.Treeshape.height ~npriorities:scale1k_npriorities in
+  let data =
+    grid scale ~series:Pqcore.Registry.scalable_names
+      ~points:(fun _ -> concurrencies scale scale1k_procs)
+      ~run:(fun queue p ->
+        progress "[bench] scale1k %s P=%d" queue p;
+        let s =
+          {
+            (Workload.spec ~queue ~nprocs:p
+               ~npriorities:scale1k_npriorities)
+            with
+            machine = Some (Pqsim.Machine.scale1k ~nprocs:p);
+          }
+        in
+        (p, (Workload.run ~ops_per_proc:scale.ops s).latency_all))
+      ~mk:(fun queue points -> { Table.label = queue; points })
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Scale-1k (pqturbo): scalable queues to 1024 processors, %d \
+          priorities (tree height %d; sockets past 256 procs; \
+          cycles/access)"
+         scale1k_npriorities height)
+    ~xlabel:"P" data;
+  data
+
+(* ------------------------------------------------------------------ *)
+(* the hold and SSSP scenarios as figure families: the remaining two
+   catalogue scenarios promoted onto the paper's axes (concurrency
+   sweep), closing the ROADMAP scenario item.  Like burst_phases, each
+   point is one deterministic Scenario.run_sim. *)
+
+let hold_model scale =
+  (* Gruber's classic DES hold model: every access is a delete_min
+     followed by a reinsert at the popped priority plus a random lag, on
+     a prefilled queue — the event-scheduler workload the simulator's
+     own ladder queue is built for, here measured on the simulated
+     queues *)
+  let sc = Scenario.hold in
+  let npriorities = Scenario.npriorities_for sc ~default:16 in
+  let data =
+    grid scale ~series:Pqcore.Registry.scalable_names
+      ~points:(fun _ -> concurrencies scale [ 2; 4; 8; 16; 32; 64; 128; 256 ])
+      ~run:(fun queue p ->
+        progress "[bench] hold %s P=%d" queue p;
+        let o =
+          Scenario.run_sim ~phase_timing:true ~queue ~nprocs:p ~npriorities
+            ~ops_per_proc:scale.ops ~seed:42 sc
+        in
+        let mean =
+          match Pqsim.Stats.summary o.Scenario.stats (Scenario.phase_key 0) with
+          | Some s -> s.Pqsim.Stats.mean
+          | None -> 0.
+        in
+        (p, mean))
+      ~mk:(fun queue points -> { Table.label = queue; points })
+  in
+  Table.print
+    ~title:
+      "Hold (scenario): DES hold-model latency, delete_min + reinsert on a \
+       prefilled queue (cycles/access)"
+    ~xlabel:"P" data;
+  data
+
+let sssp_scaling scale =
+  (* concurrent Dijkstra: the queue is the open set, so the figure's
+     metric is the makespan of settling the whole graph — a whole-run
+     completion time, not a per-access latency, because SSSP's accesses
+     are causally chained through the graph *)
+  let sc = Scenario.sssp ~nodes:96 ~degree:3 ~max_weight:8 () in
+  let npriorities = Scenario.npriorities_for sc ~default:16 in
+  let data =
+    grid scale ~series:Pqcore.Registry.scalable_names
+      ~points:(fun _ -> concurrencies scale [ 2; 4; 8; 16; 32; 64 ])
+      ~run:(fun queue p ->
+        progress "[bench] sssp %s P=%d" queue p;
+        let o =
+          Scenario.run_sim ~queue ~nprocs:p ~npriorities
+            ~ops_per_proc:scale.ops ~seed:42 sc
+        in
+        (match o.Scenario.aborted with
+        | Some e -> raise e
+        | None -> ());
+        (match o.Scenario.check with
+        | Ok () -> ()
+        | Error e -> failwith ("sssp figure: " ^ e));
+        (p, float_of_int o.Scenario.cycles))
+      ~mk:(fun queue points -> { Table.label = queue; points })
+  in
+  Table.print
+    ~title:
+      "SSSP (scenario): concurrent Dijkstra makespan over a 96-node seeded \
+       graph, distances verified against the sequential reference (cycles \
+       to completion)"
+    ~xlabel:"P" data;
+  data
+
 let run_all scale =
   ignore (fig5_left scale);
   ignore (fig5_right scale);
@@ -560,6 +676,9 @@ let run_all scale =
   ignore (relaxed_scale scale);
   ignore (rank_error scale);
   ignore (burst_phases scale);
+  ignore (scale1k scale);
+  ignore (hold_model scale);
+  ignore (sssp_scaling scale);
   ignore (sensitivity scale)
 
 (* ------------------------------------------------------------------ *)
@@ -588,6 +707,24 @@ let collect ?timings scale =
   (* figures execute in this order — historically the right-to-left
      evaluation of the result list literal, kept explicit so printed
      tables stay in the established order *)
+  let sssp_f =
+    fig "sssp"
+      "concurrent Dijkstra makespan, distances verified (cycles to \
+       completion)"
+      "P"
+      (timed "sssp" (fun () -> sssp_scaling scale))
+  in
+  let hold_f =
+    fig "hold"
+      "DES hold-model latency on a prefilled queue (cycles/access)" "P"
+      (timed "hold" (fun () -> hold_model scale))
+  in
+  let scale1k_f =
+    fig "scale1k"
+      "scalable queues to 1024 processors, 1024 priorities (cycles/access)"
+      "P"
+      (timed "scale1k" (fun () -> scale1k scale))
+  in
   let burst_phases_f =
     fig "burst_phases"
       "per-phase latency on the bursty-Zipf scenario (cycles/access)" "P"
@@ -721,4 +858,7 @@ let collect ?timings scale =
     relaxed_scale_f;
     rank_error_f;
     burst_phases_f;
+    scale1k_f;
+    hold_f;
+    sssp_f;
   ]

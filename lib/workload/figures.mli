@@ -23,6 +23,11 @@ val quick : scale
 val full : scale
 (** the paper's range: up to 256 processors, [jobs = 1] *)
 
+val xl : scale
+(** the pqturbo frontier: up to 1024 processors at quick's per-point
+    work, [jobs = 1] — the scale the arena engine makes routine
+    ([pqbench run scale1k --xl]) *)
+
 val fig5_left : scale -> Table.series list
 (** funnel fetch-and-add vs bounded-decrement-with-elimination latency,
     50/50 mix, concurrency sweep (also carries the no-elimination
@@ -100,6 +105,23 @@ val burst_phases : scale -> Table.series list
     (phase 0 the bursty half, phase 1 the closing drain storm) for the
     scalable queues across the concurrency sweep — one series per
     (queue, phase), via [Scenario.run_sim ~phase_timing:true] *)
+
+val scale1k : scale -> Table.series list
+(** pqturbo: Figure 7's axes extended past the paper's 256-processor
+    ceiling — the scalable queues at 64-1024 processors on the
+    multi-socket {!Pqsim.Machine.scale1k} model with a 1024-priority
+    (height-10) tree and the widened four-layer funnels, probing where
+    homogeneous combining saturates *)
+
+val hold_model : scale -> Table.series list
+(** the DES hold scenario as a figure family: delete_min + reinsert at
+    the popped priority plus a random lag on a prefilled queue, mean
+    access latency per concurrency ([Scenario.hold]) *)
+
+val sssp_scaling : scale -> Table.series list
+(** the SSSP scenario as a figure family: concurrent Dijkstra makespan
+    over a 96-node seeded graph per concurrency, distances verified
+    against the sequential reference ([Scenario.sssp]) *)
 
 val sensitivity : scale -> string list list
 (** the headline comparison re-run under perturbed machine cost models

@@ -20,8 +20,8 @@ let test_evq_weight_tiebreak () =
   Pqsim.Evq.push q ~time:3 ~weight:9 (fun () -> out := "t3" :: !out);
   let rec drain () =
     match Pqsim.Evq.pop q with
-    | Some (_, run) ->
-        run ();
+    | Some e ->
+        e.Pqsim.Evq.run ();
         drain ()
     | None -> ()
   in

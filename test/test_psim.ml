@@ -170,8 +170,8 @@ let test_evq_order () =
   let rec drain () =
     match Pqsim.Evq.pop q with
     | None -> ()
-    | Some (_, run) ->
-        run ();
+    | Some e ->
+        e.Pqsim.Evq.run ();
         drain ()
   in
   drain ();
@@ -186,8 +186,8 @@ let test_evq_fifo_ties () =
   let rec drain () =
     match Pqsim.Evq.pop q with
     | None -> ()
-    | Some (_, run) ->
-        run ();
+    | Some e ->
+        e.Pqsim.Evq.run ();
         drain ()
   in
   drain ();
@@ -205,7 +205,9 @@ let test_evq_random_order =
       let rec drain last =
         match Pqsim.Evq.pop q with
         | None -> true
-        | Some (t, _) -> t >= last && drain t
+        | Some e ->
+            let t = e.Pqsim.Evq.time in
+            t >= last && drain t
       in
       drain min_int)
 
@@ -262,14 +264,211 @@ let test_evq_total_stable_order =
       let rec drain () =
         match Pqsim.Evq.pop q with
         | None -> ()
-        | Some (_, run) ->
-            run ();
+        | Some e ->
+            e.Pqsim.Evq.run ();
             drain ()
       in
       drain ();
       let popped = List.rev !out in
       List.length popped = List.length events
       && popped = List.sort compare popped)
+
+(* the original binary-heap Evq, kept verbatim as the reference model
+   for the ladder queue: same (time, weight, seq) total order, seq
+   assigned in push order *)
+module Heap_ref = struct
+  type event = { time : int; weight : int; seq : int }
+
+  type t = {
+    mutable heap : event array;
+    mutable size : int;
+    mutable next_seq : int;
+  }
+
+  let dummy = { time = 0; weight = 0; seq = 0 }
+  let create () = { heap = Array.make 256 dummy; size = 0; next_seq = 0 }
+  let is_empty t = t.size = 0
+
+  let before a b =
+    a.time < b.time
+    || (a.time = b.time
+       && (a.weight < b.weight || (a.weight = b.weight && a.seq < b.seq)))
+
+  let grow t =
+    let heap = Array.make (2 * Array.length t.heap) dummy in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+
+  let push t ~time ~weight =
+    if t.size = Array.length t.heap then grow t;
+    let e = { time; weight; seq = t.next_seq } in
+    t.next_seq <- t.next_seq + 1;
+    let rec up i =
+      if i = 0 then t.heap.(0) <- e
+      else
+        let parent = (i - 1) / 2 in
+        if before e t.heap.(parent) then begin
+          t.heap.(i) <- t.heap.(parent);
+          up parent
+        end
+        else t.heap.(i) <- e
+    in
+    t.size <- t.size + 1;
+    up (t.size - 1)
+
+  let pop_exn t =
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    let last = t.heap.(t.size) in
+    t.heap.(t.size) <- dummy;
+    if t.size > 0 then begin
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let smallest = ref i in
+        if l < t.size && before t.heap.(l) last then smallest := l;
+        if
+          r < t.size
+          && before t.heap.(r) (if !smallest = i then last else t.heap.(l))
+        then smallest := r;
+        if !smallest = i then t.heap.(i) <- last
+        else begin
+          t.heap.(i) <- t.heap.(!smallest);
+          down !smallest
+        end
+      in
+      down 0
+    end;
+    top
+end
+
+(* scripts that stress the ladder where it differs from a heap: times
+   clustered at rung (window) boundaries so refills and wraparound
+   trigger, adversarial same-time/same-weight batches, and occasional
+   past-time pushes (the engine never issues these; QCheck does) *)
+let ladder_script_gen =
+  QCheck.Gen.(
+    let rung = 4096 in
+    let time_gen base =
+      frequency
+        [
+          (4, map (fun d -> base + d) (int_bound 200));
+          (* same-cycle batches *)
+          (2, return (base + 100));
+          (* just below / at / above a rung boundary *)
+          (2, map (fun d -> ((base / rung) + 1) * rung + d - 2) (int_bound 4));
+          (* far future: next rung and far beyond the window *)
+          (1, map (fun d -> base + rung + d) (int_bound 200));
+          (1, map (fun d -> base + (3 * rung) + d) (int_bound 10_000));
+          (* the past (clamped to the cursor by the ladder) *)
+          (1, map (fun d -> max 0 (base - d)) (int_bound 5000));
+        ]
+    in
+    let op base =
+      frequency
+        [
+          ( 3,
+            map2
+              (fun t w -> `Push (t, w))
+              (time_gen base)
+              (frequency [ (3, return 0); (1, int_bound 3) ]) );
+          (2, return `Pop);
+          (1, return `Drain_some);
+        ]
+    in
+    sized (fun n ->
+        let n = min n 400 in
+        let rec go i base acc =
+          if i = 0 then return (List.rev acc)
+          else
+            op base >>= fun o ->
+            let base =
+              match o with `Push (t, _) -> max base (t / 2) | _ -> base + 37
+            in
+            go (i - 1) base (o :: acc)
+        in
+        go n 0 []))
+
+let ladder_script_arb =
+  QCheck.make ~print:(fun script ->
+      String.concat ";"
+        (List.map
+           (function
+             | `Push (t, w) -> Printf.sprintf "push %d w%d" t w
+             | `Pop -> "pop"
+             | `Drain_some -> "drain3")
+           script))
+    ladder_script_gen
+
+let test_evq_ladder_vs_heap =
+  QCheck.Test.make ~name:"evq ladder matches old binary heap" ~count:400
+    ladder_script_arb (fun script ->
+      let q = Pqsim.Evq.create () in
+      let h = Heap_ref.create () in
+      let ok = ref true in
+      let pop_both () =
+        match Pqsim.Evq.is_empty q, Heap_ref.is_empty h with
+        | true, true -> ()
+        | false, false ->
+            let e = Pqsim.Evq.pop_exn q in
+            let m = Heap_ref.pop_exn h in
+            if
+              (e.Pqsim.Evq.time, e.Pqsim.Evq.weight, e.Pqsim.Evq.seq)
+              <> (m.Heap_ref.time, m.Heap_ref.weight, m.Heap_ref.seq)
+            then ok := false
+        | _ -> ok := false
+      in
+      List.iter
+        (function
+          | `Push (time, weight) ->
+              Pqsim.Evq.push q ~time ~weight ignore;
+              Heap_ref.push h ~time ~weight
+          | `Pop -> pop_both ()
+          | `Drain_some ->
+              for _ = 1 to 3 do
+                pop_both ()
+              done)
+        script;
+      while not (Pqsim.Evq.is_empty q && Heap_ref.is_empty h) do
+        pop_both ()
+      done;
+      !ok)
+
+let test_evq_rung_rollover () =
+  (* deterministic epoch-rollover case: events straddling several
+     multiples of the 4096-tick rung, plus far-future outliers that must
+     migrate from the backing heap into later windows *)
+  let q = Pqsim.Evq.create () in
+  let times =
+    [ 4095; 4096; 4097; 0; 1; 8191; 8192; 8193; 123_456; 12_288; 4095; 2 ]
+  in
+  List.iter (fun time -> Pqsim.Evq.push q ~time ignore) times;
+  let out = ref [] in
+  Pqsim.Evq.drain q (fun e -> out := e.Pqsim.Evq.time :: !out);
+  Alcotest.(check (list int))
+    "rollover order" (List.sort compare times) (List.rev !out)
+
+let test_evq_seq_monotone_recycle () =
+  (* regression: arena recycling must not disturb [next_seq] — a record
+     reused from the freelist still gets a fresh, strictly larger seq,
+     so same-(time, weight) batches pushed after heavy recycling still
+     pop in push order *)
+  let q = Pqsim.Evq.create () in
+  let last_seq = ref (-1) in
+  let ok = ref true in
+  for round = 0 to 99 do
+    for _ = 0 to 9 do
+      (* same time, same weight: only seq orders these *)
+      Pqsim.Evq.push q ~time:(round * 17) ignore
+    done;
+    for _ = 0 to 9 do
+      let e = Pqsim.Evq.pop_exn q in
+      if e.Pqsim.Evq.seq <= !last_seq then ok := false;
+      last_seq := e.Pqsim.Evq.seq
+    done
+  done;
+  Alcotest.(check bool) "seq strictly increases across recycling" true !ok;
+  Alcotest.(check int) "all events popped" 0 (Pqsim.Evq.length q);
+  Alcotest.(check int) "pop counter" 1000 (Pqsim.Evq.pops q)
 
 (* ------------------------------------------------------------------ *)
 (* Mem (host-side behaviour) *)
@@ -541,9 +740,17 @@ let () =
         [
           Alcotest.test_case "time order" `Quick test_evq_order;
           Alcotest.test_case "fifo ties" `Quick test_evq_fifo_ties;
+          Alcotest.test_case "rung rollover" `Quick test_evq_rung_rollover;
+          Alcotest.test_case "seq monotone across recycling" `Quick
+            test_evq_seq_monotone_recycle;
         ] );
       qsuite "evq-props"
-        [ test_evq_random_order; test_evq_total_stable_order; test_evq_model ];
+        [
+          test_evq_random_order;
+          test_evq_total_stable_order;
+          test_evq_model;
+          test_evq_ladder_vs_heap;
+        ];
       ( "mem",
         [
           Alcotest.test_case "alloc disjoint" `Quick test_mem_alloc_disjoint;
